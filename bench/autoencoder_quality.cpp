@@ -1,0 +1,63 @@
+// Supports §4.2: sweeps the autoencoder latent dimension K on the CG
+// application's sparse inputs and reports the Eqn-1 miss fraction, the
+// compression ratio, and the modeled online encode cost — the trade-off the
+// outer Bayesian loop navigates. Also demonstrates the sparse-input path's
+// footprint saving (the "14x" blow-up §2 quotes for NPB CG).
+
+#include <iostream>
+#include <numeric>
+
+#include "apps/cg_app.hpp"
+#include "autoencoder/autoencoder.hpp"
+#include "bench/bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "runtime/device.hpp"
+
+int main() {
+  using namespace ahn;
+  bench::print_header("Autoencoder quality vs compression (Eqn 1 sweep)",
+                      "paper §4.2 and the sparse-input design");
+
+  apps::CgApp app;
+  const std::size_t problems = bench::scaled(150, 40);
+  app.generate_problems(problems, 7);
+  std::vector<std::size_t> ids(problems);
+  std::iota(ids.begin(), ids.end(), 0);
+  const sparse::Csr x = app.sparse_input_batch(ids);
+
+  std::cout << "CG input features: " << x.cols() << " wide, CSR batch density "
+            << TextTable::num(100.0 * x.density(), 2) << "%\n"
+            << "dense footprint " << x.dense_bytes() / 1024 << " KiB vs CSR "
+            << x.bytes() / 1024 << " KiB  ("
+            << TextTable::num(static_cast<double>(x.dense_bytes()) /
+                                  static_cast<double>(x.bytes()), 1)
+            << "x blow-up if densified; paper quotes 14x for NPB CG)\n\n";
+
+  const runtime::DeviceModel device;
+  TextTable table({"K", "compression", "Eqn-1 miss", "meets 0.25 bound",
+                   "encode us/problem", "train s"});
+  for (const std::size_t k : {4u, 8u, 16u, 32u, 64u}) {
+    autoencoder::AutoencoderConfig cfg;
+    cfg.latent_dim = k;
+    cfg.epochs = bench::scaled(60, 20);
+    cfg.encoding_loss_bound = 0.25;
+    const Timer timer;
+    autoencoder::Autoencoder ae(x.cols(), cfg);
+    const autoencoder::AutoencoderReport rep = ae.train_sparse(x);
+    const double train_s = timer.seconds();
+    const double encode_us =
+        1e6 * device.kernel_seconds(ae.encode_cost(1), runtime::nn_inference_profile());
+    table.add_row({std::to_string(k),
+                   TextTable::num(static_cast<double>(x.cols()) / k, 1) + "x",
+                   TextTable::num(rep.miss_fraction, 4),
+                   rep.meets_bound ? "yes" : "no", TextTable::num(encode_us, 2),
+                   TextTable::num(train_s, 2)});
+  }
+  std::cout << table.render()
+            << "\nexpected shape: CG's inputs have a fixed sparsity pattern and\n"
+               "low-rank variation, so even small K reconstructs within the Eqn-1\n"
+               "bound once trained — exactly why feature reduction wins here —\n"
+               "while the encode cost (f_c share) grows with K.\n";
+  return 0;
+}

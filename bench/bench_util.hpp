@@ -1,0 +1,48 @@
+#pragma once
+// Shared helpers for the paper-reproduction bench binaries. Every bench
+// prints the paper's rows/series as text tables; AHN_BENCH_SCALE in (0, 1]
+// shrinks problem counts and search budgets for quick smoke runs.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/config.hpp"
+
+namespace ahn::bench {
+
+/// Global scale factor from the environment (default 1.0).
+[[nodiscard]] inline double scale_factor() {
+  if (const char* env = std::getenv("AHN_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+  }
+  return 1.0;
+}
+
+[[nodiscard]] inline std::size_t scaled(std::size_t n, std::size_t floor_value = 1) {
+  const auto v = static_cast<std::size_t>(static_cast<double>(n) * scale_factor());
+  return std::max(floor_value, v);
+}
+
+/// The evaluation-wide default configuration used by the paper-figure
+/// benches: paper settings (mu = 10%) with laptop-scale search budgets.
+[[nodiscard]] inline core::Config bench_config() {
+  core::Config cfg;
+  cfg.outer_iterations = scaled(3);
+  cfg.inner_iterations = scaled(4, 2);
+  cfg.valid_problems = scaled(16, 8);
+  cfg.eval_problems = scaled(40, 10);
+  cfg.num_epoch = scaled(120, 40);
+  cfg.retrain_epochs = scaled(250, 60);
+  cfg.ae_epochs = scaled(30, 10);
+  return cfg;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "(reproduces " << paper_ref << "; scale factor " << scale_factor()
+            << ")\n\n";
+}
+
+}  // namespace ahn::bench

@@ -1,0 +1,51 @@
+// Quickstart: build an NN surrogate for the Blackscholes pricing kernel with
+// the full Auto-HPCnet workflow — data acquisition, 2D NAS with the
+// customized autoencoder, deployment, evaluation — in ~30 lines of user
+// code.
+//
+// Usage: quickstart [key=value ...]   (keys from core::Config, e.g.
+//        trainProblems=100 evalProblems=40 qualityLoss=0.1)
+
+#include <iostream>
+
+#include "apps/registry.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ahn;
+
+  core::Config config;
+  // Keep the quickstart snappy (a couple of minutes); overrides on the
+  // command line take precedence.
+  config.outer_iterations = 2;
+  config.inner_iterations = 3;
+  for (int i = 1; i < argc; ++i) config.apply(argv[i]);
+
+  auto app = apps::make_application("Blackscholes");
+  std::cout << "Application: " << app->name() << " (replacing "
+            << app->replaced_function() << ", QoI: " << app->qoi_name() << ")\n";
+
+  const core::AutoHPCnet framework(config);
+  const core::PipelineResult result = framework.run(*app);
+
+  std::cout << "\nSearched " << result.search.evaluations() << " candidates; best: "
+            << result.model.spec.describe();
+  if (result.model.latent_k > 0) {
+    std::cout << " with K=" << result.model.latent_k << " reduced features";
+  }
+  std::cout << "\n  search quality f_e = " << result.model.quality_error
+            << " (bound " << config.quality_loss << ")\n";
+
+  TextTable table({"metric", "value"});
+  table.add_row({"speedup (Eqn 2)", TextTable::num(result.evaluation.speedup) + "x"});
+  table.add_row({"hit rate (Eqn 3)", TextTable::num(100.0 * result.evaluation.hit_rate, 1) + "%"});
+  table.add_row({"mean QoI error", TextTable::num(result.evaluation.mean_qoi_error, 4)});
+  table.add_row({"offline sample gen (s)",
+                 TextTable::num(result.offline.sample_generation_seconds, 3)});
+  table.add_row({"offline search (s)", TextTable::num(result.offline.search_seconds, 3)});
+  table.add_row({"  of which AE training (s)",
+                 TextTable::num(result.offline.autoencoder_seconds, 3)});
+  std::cout << "\n" << table.render();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Trace-inspection example: runs the compiler-based feature extractor on a
+// traced PCG iteration (Algorithm 1 of the paper) and prints what the
+// tooling sees — the dynamic instruction trace, the loop-compression
+// effect, the DDDG summary, use-def statistics, and the identified
+// input/output variables with array grouping.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "trace/dddg.hpp"
+#include "trace/features.hpp"
+#include "trace/traced.hpp"
+
+int main() {
+  using namespace ahn;
+  using namespace ahn::trace;
+
+  constexpr std::size_t n = 32;
+
+  TraceRecorder rec;
+  // Variables of one PCG iteration (Algorithm 1, lines 4-11): the matrix is
+  // applied via its action; x, r, p are read-modify-write state.
+  TracedArray ap(rec, "Ap", std::vector<double>(n, 1.0), true);
+  TracedArray x(rec, "x", std::vector<double>(n, 0.0), true);
+  TracedArray r(rec, "r", std::vector<double>(n, 0.5), true);
+  TracedArray p(rec, "p", std::vector<double>(n, 0.5), true);
+  TracedScalar rr_old(rec, "rr_old", true, static_cast<double>(n) * 0.25);
+  TracedScalar tolerance_flag(rec, "converged", true, 0.0);
+
+  rec.begin_region();
+  {
+    // alpha = (r . r) / (p . Ap)
+    TracedValue rr = TracedValue::constant(rec, 0.0);
+    TracedValue pap = TracedValue::constant(rec, 0.0);
+    rec.begin_loop();
+    for (std::size_t i = 0; i < n; ++i) {
+      rr = rr + r[i] * r[i];
+      pap = pap + p[i] * ap[i];
+      rec.end_loop_iteration();
+    }
+    rec.end_loop();
+    const TracedValue alpha = rr / pap;
+
+    // x += alpha p ; r -= alpha Ap (the RAW dependencies §2.1 discusses)
+    rec.begin_loop();
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = x[i] + alpha * p[i];
+      r[i] = r[i] - alpha * ap[i];
+      rec.end_loop_iteration();
+    }
+    rec.end_loop();
+
+    // beta = (r . r) / rr_old ; p = r + beta p
+    TracedValue rr_new = TracedValue::constant(rec, 0.0);
+    rec.begin_loop();
+    for (std::size_t i = 0; i < n; ++i) {
+      rr_new = rr_new + r[i] * r[i];
+      rec.end_loop_iteration();
+    }
+    rec.end_loop();
+    const TracedValue beta = rr_new / rr_old.get();
+    rec.begin_loop();
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = r[i] + beta * p[i];
+      rec.end_loop_iteration();
+    }
+    rec.end_loop();
+    tolerance_flag = rr_new;  // caller tests convergence on it
+  }
+  rec.end_region();
+
+  // Post-region uses: the solver state is consumed by the next iteration.
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)x[i].get();
+    (void)r[i].get();
+    (void)p[i].get();
+  }
+  (void)tolerance_flag.get();
+
+  std::cout << "=== PCG iteration trace (Algorithm 1) ===\n\n";
+  TextTable stats({"metric", "value"});
+  stats.add_row({"dynamic instructions executed",
+                 std::to_string(rec.total_region_instructions())});
+  stats.add_row({"instructions stored after loop compression",
+                 std::to_string(rec.instructions().size())});
+  stats.add_row({"compression ratio", TextTable::num(rec.compression_ratio(), 1) + "x"});
+
+  const Dddg dddg = Dddg::build(rec);
+  stats.add_row({"DDDG nodes", std::to_string(dddg.node_count())});
+  stats.add_row({"DDDG edges", std::to_string(dddg.edge_count())});
+  std::size_t exposed = 0;
+  for (const auto& [load, def] : dddg.use_def()) {
+    if (def == Dddg::npos) ++exposed;
+  }
+  stats.add_row({"use-def chains resolved",
+                 std::to_string(dddg.use_def().size() - exposed)});
+  stats.add_row({"upward-exposed loads (root candidates)", std::to_string(exposed)});
+  std::cout << stats.render() << "\n";
+
+  const FeatureReport rep = identify_features(rec, dddg);
+  std::cout << "identified features (array grouping applied):\n"
+            << rep.describe(rec) << "\n\n";
+  std::cout << "A surrogate for this region would take " << rep.input_width
+            << " input features and produce " << rep.output_width
+            << " output features.\n";
+  return 0;
+}

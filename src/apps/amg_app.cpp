@@ -1,0 +1,117 @@
+#include "apps/amg_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/generators.hpp"
+#include "sparse/spmv.hpp"
+#include "tensor/ops.hpp"
+
+namespace ahn::apps {
+
+AmgApp::AmgApp(std::size_t grid_n) : grid_n_(grid_n), dim_(grid_n * grid_n) {
+  AHN_CHECK(grid_n >= 4);
+}
+
+void AmgApp::generate_problems(std::size_t count, std::uint64_t seed) {
+  problems_.clear();
+  problems_.reserve(count);
+  Rng rng(seed);
+  const sparse::Csr base = sparse::poisson2d(grid_n_);
+  for (std::size_t p = 0; p < count; ++p) {
+    ProblemInstance inst;
+    inst.a = base;
+    // Variable coefficients: scale the stencil by per-cell lognormal fields
+    // c_i; a_ij *= sqrt(c_i c_j) stays symmetric positive definite.
+    std::vector<double> c(dim_);
+    for (auto& v : c) v = std::exp(rng.gaussian(0.0, 0.05));
+    auto& vals = inst.a.mutable_values();
+    const auto& rp = inst.a.row_ptr();
+    const auto& ci = inst.a.col_idx();
+    for (std::size_t r = 0; r < dim_; ++r) {
+      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+        vals[k] *= std::sqrt(c[r] * c[ci[k]]);
+      }
+    }
+    inst.b = sparse::random_rhs(dim_, rng);
+    problems_.push_back(std::move(inst));
+  }
+}
+
+std::vector<double> AmgApp::input_features(std::size_t i) const {
+  const ProblemInstance& p = problems_.at(i);
+  std::vector<double> feat(input_dim(), 0.0);
+  const auto& rp = p.a.row_ptr();
+  const auto& ci = p.a.col_idx();
+  const auto& v = p.a.values();
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) feat[r * dim_ + ci[k]] = v[k];
+  }
+  std::copy(p.b.begin(), p.b.end(), feat.begin() + static_cast<std::ptrdiff_t>(dim_ * dim_));
+  return feat;
+}
+
+sparse::Csr AmgApp::sparse_input_batch(std::span<const std::size_t> problems) const {
+  sparse::Coo coo;
+  coo.rows = problems.size();
+  coo.cols = input_dim();
+  for (std::size_t r = 0; r < problems.size(); ++r) {
+    const ProblemInstance& p = problems_.at(problems[r]);
+    const auto& rp = p.a.row_ptr();
+    const auto& ci = p.a.col_idx();
+    const auto& v = p.a.values();
+    for (std::size_t row = 0; row < dim_; ++row) {
+      for (std::size_t k = rp[row]; k < rp[row + 1]; ++k) {
+        coo.push(r, row * dim_ + ci[k], v[k]);
+      }
+    }
+    for (std::size_t j = 0; j < dim_; ++j) {
+      if (p.b[j] != 0.0) coo.push(r, dim_ * dim_ + j, p.b[j]);
+    }
+  }
+  return sparse::Csr::from_coo(std::move(coo));
+}
+
+RegionRun AmgApp::run_region(std::size_t i) const {
+  const ProblemInstance& p = problems_.at(i);
+  return timed_region([&] {
+    const AlgebraicMultigrid amg(p.a);
+    std::vector<double> x(dim_, 0.0);
+    preconditioned_cg(p.a, p.b, x, amg.as_preconditioner(), 1e-10, 4 * dim_);
+    return x;
+  });
+}
+
+RegionRun AmgApp::run_region_perforated(std::size_t i, double keep_fraction) const {
+  AHN_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  const ProblemInstance& p = problems_.at(i);
+  const auto max_iter = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction * static_cast<double>(dim_) * 0.25));
+  return timed_region([&] {
+    const AlgebraicMultigrid amg(p.a);
+    std::vector<double> x(dim_, 0.0);
+    preconditioned_cg(p.a, p.b, x, amg.as_preconditioner(), 1e-10, max_iter);
+    return x;
+  });
+}
+
+double AmgApp::other_part_seconds(std::size_t i) const {
+  const ProblemInstance& p = problems_.at(i);
+  const Timer t;
+  std::vector<double> y(dim_);
+  sparse::spmv(p.a, p.b, y);
+  return t.seconds();
+}
+
+double AmgApp::qoi(std::size_t i, std::span<const double> region_outputs) const {
+  (void)i;
+  return ops::norm2(region_outputs);
+}
+
+double AmgApp::qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                         std::span<const double> surrogate_outputs) const {
+  (void)i;
+  return relative_l2(surrogate_outputs, exact_outputs);
+}
+
+}  // namespace ahn::apps

@@ -1,0 +1,65 @@
+#pragma once
+// AMG application (Type III, Table 2: AMG:PCG_solver). A variable-
+// coefficient Poisson system is solved with algebraic-multigrid-
+// preconditioned CG (the ECP AMG proxy's role); the replaced region is the
+// whole PCG solve. The QoI is the solution of the linear system. This app
+// also backs Table 3 (CPU-only vs AMGX-like-on-GPU vs surrogate-on-GPU).
+
+#include "apps/application.hpp"
+#include "apps/solvers.hpp"
+
+namespace ahn::apps {
+
+class AmgApp final : public Application {
+ public:
+  explicit AmgApp(std::size_t grid_n = 8);
+
+  [[nodiscard]] std::string name() const override { return "AMG"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeIII; }
+  [[nodiscard]] std::string replaced_function() const override { return "PCG_solver"; }
+  [[nodiscard]] std::string qoi_name() const override {
+    return "Solution of linear systems";
+  }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return problems_.size(); }
+
+  [[nodiscard]] std::size_t recommended_train_problems() const override {
+    return 500;
+  }
+
+  [[nodiscard]] std::size_t input_dim() const override { return dim_ * dim_ + dim_; }
+  [[nodiscard]] std::size_t output_dim() const override { return dim_; }
+  [[nodiscard]] bool has_sparse_input() const override { return true; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override;
+  [[nodiscard]] sparse::Csr sparse_input_batch(
+      std::span<const std::size_t> problems) const override;
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+  [[nodiscard]] double qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                                 std::span<const double> surrogate_outputs) const override;
+
+  [[nodiscard]] const sparse::Csr& matrix(std::size_t i) const {
+    return problems_.at(i).a;
+  }
+  [[nodiscard]] std::span<const double> rhs(std::size_t i) const {
+    return problems_.at(i).b;
+  }
+
+ private:
+  struct ProblemInstance {
+    sparse::Csr a;
+    std::vector<double> b;
+  };
+
+  std::size_t grid_n_, dim_;
+  std::vector<ProblemInstance> problems_;
+};
+
+}  // namespace ahn::apps

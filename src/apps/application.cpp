@@ -1,0 +1,55 @@
+#include "apps/application.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace ahn::apps {
+
+const char* app_type_name(AppType t) noexcept {
+  switch (t) {
+    case AppType::TypeI: return "I";
+    case AppType::TypeII: return "II";
+    case AppType::TypeIII: return "III";
+  }
+  return "?";
+}
+
+sparse::Csr Application::sparse_input_batch(std::span<const std::size_t> problems) const {
+  sparse::Coo coo;
+  coo.rows = problems.size();
+  coo.cols = input_dim();
+  for (std::size_t r = 0; r < problems.size(); ++r) {
+    const std::vector<double> feat = input_features(problems[r]);
+    for (std::size_t c = 0; c < feat.size(); ++c) {
+      if (feat[c] != 0.0) coo.push(r, c, feat[c]);
+    }
+  }
+  return sparse::Csr::from_coo(std::move(coo));
+}
+
+double Application::qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                              std::span<const double> surrogate_outputs) const {
+  return relative_error(qoi(i, surrogate_outputs), qoi(i, exact_outputs));
+}
+
+std::vector<std::vector<double>> dense_input_batch(const Application& app,
+                                                   std::span<const std::size_t> problems) {
+  std::vector<std::vector<double>> out;
+  out.reserve(problems.size());
+  for (std::size_t p : problems) out.push_back(app.input_features(p));
+  return out;
+}
+
+double relative_l2(std::span<const double> a, std::span<const double> b) {
+  AHN_CHECK(a.size() == b.size() && !a.empty());
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    num += d * d;
+    den += b[i] * b[i];
+  }
+  return std::sqrt(num) / (std::sqrt(den) + 1e-30);
+}
+
+}  // namespace ahn::apps

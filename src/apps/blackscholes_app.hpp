@@ -1,0 +1,55 @@
+#pragma once
+// Blackscholes application (Type II, Table 2: BlkSchlsEqEuroNoDiv). A batch
+// of European options is priced with the closed-form Black-Scholes formula;
+// PARSEC's kernel re-evaluates the batch NUM_RUNS times, which this app
+// reproduces. The QoI is the computed price.
+
+#include "apps/application.hpp"
+
+namespace ahn::apps {
+
+class BlackscholesApp final : public Application {
+ public:
+  explicit BlackscholesApp(std::size_t options = 8, std::size_t num_runs = 1536);
+
+  [[nodiscard]] std::string name() const override { return "Blackscholes"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeII; }
+  [[nodiscard]] std::string replaced_function() const override {
+    return "BlkSchlsEqEuroNoDiv";
+  }
+  [[nodiscard]] std::string qoi_name() const override { return "The computed price"; }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return problems_.size(); }
+
+  [[nodiscard]] std::size_t recommended_train_problems() const override {
+    return 1500;
+  }
+
+  /// 5 features per option: spot, strike, rate, volatility, expiry.
+  [[nodiscard]] std::size_t input_dim() const override { return options_ * 5; }
+  [[nodiscard]] std::size_t output_dim() const override { return options_; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override {
+    return problems_.at(i);
+  }
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+  [[nodiscard]] double qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                                 std::span<const double> surrogate_outputs) const override;
+
+  /// Closed-form call price (exposed for unit tests).
+  [[nodiscard]] static double call_price(double spot, double strike, double rate,
+                                         double vol, double expiry);
+
+ private:
+  std::size_t options_, num_runs_;
+  std::vector<std::vector<double>> problems_;
+};
+
+}  // namespace ahn::apps

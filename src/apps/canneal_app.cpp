@@ -1,0 +1,126 @@
+#include "apps/canneal_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/flops.hpp"
+
+namespace ahn::apps {
+
+CannealApp::CannealApp(std::size_t elements, std::size_t nets, std::size_t grid,
+                       std::size_t sweeps)
+    : elements_(elements), grid_(grid), sweeps_(sweeps) {
+  AHN_CHECK(grid * grid >= elements && elements >= 2);
+  // Fixed random netlist topology (the circuit); weights vary per problem.
+  Rng rng(0xca11ab1eULL);
+  nets_.reserve(nets);
+  for (std::size_t n = 0; n < nets; ++n) {
+    const auto a = static_cast<std::size_t>(rng.uniform_index(elements));
+    auto b = static_cast<std::size_t>(rng.uniform_index(elements));
+    while (b == a) b = static_cast<std::size_t>(rng.uniform_index(elements));
+    nets_.emplace_back(a, b);
+  }
+}
+
+void CannealApp::generate_problems(std::size_t count, std::uint64_t seed) {
+  weights_.clear();
+  weights_.reserve(count);
+  Rng rng(seed);
+  for (std::size_t p = 0; p < count; ++p) {
+    std::vector<double> w(nets_.size());
+    for (double& v : w) v = rng.uniform(0.2, 2.0);
+    weights_.push_back(std::move(w));
+  }
+}
+
+double CannealApp::routing_cost(std::size_t i,
+                                const std::vector<std::size_t>& placement) const {
+  const std::vector<double>& w = weights_.at(i);
+  double cost = 0.0;
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    const auto [a, b] = nets_[n];
+    const double ax = static_cast<double>(placement[a] % grid_);
+    const double ay = static_cast<double>(placement[a] / grid_);
+    const double bx = static_cast<double>(placement[b] % grid_);
+    const double by = static_cast<double>(placement[b] / grid_);
+    cost += w[n] * (std::abs(ax - bx) + std::abs(ay - by));  // Manhattan wirelength
+  }
+  return cost;
+}
+
+RegionRun CannealApp::run_region(std::size_t i) const { return anneal(i, sweeps_); }
+
+RegionRun CannealApp::run_region_perforated(std::size_t i, double keep_fraction) const {
+  AHN_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  const auto sweeps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction * static_cast<double>(sweeps_)));
+  return anneal(i, sweeps);
+}
+
+RegionRun CannealApp::anneal(std::size_t i, std::size_t sweeps) const {
+  return timed_region([&] {
+    // Deterministic per-problem annealing (seeded by the problem index).
+    Rng rng(0xa22ea1ULL + i * 0x9e37ULL);
+    std::vector<std::size_t> place(grid_ * grid_);
+    std::iota(place.begin(), place.end(), 0);
+    // placement[e] = cell of element e; cells beyond elements_ are empty.
+    std::vector<std::size_t> placement(place.begin(),
+                                       place.begin() + static_cast<std::ptrdiff_t>(elements_));
+
+    double cost = routing_cost(i, placement);
+    double temperature = 2.0;
+    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+      for (std::size_t m = 0; m < elements_; ++m) {
+        const auto e = static_cast<std::size_t>(rng.uniform_index(elements_));
+        const auto new_cell = static_cast<std::size_t>(rng.uniform_index(grid_ * grid_));
+        // Reject if another element already occupies the target cell (swap
+        // semantics would also work; rejection keeps the kernel simple).
+        bool occupied = false;
+        for (std::size_t o = 0; o < elements_; ++o) {
+          if (placement[o] == new_cell) {
+            occupied = true;
+            break;
+          }
+        }
+        if (occupied) continue;
+        const std::size_t old_cell = placement[e];
+        placement[e] = new_cell;
+        const double new_cost = routing_cost(i, placement);
+        const double delta = new_cost - cost;
+        if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature)) {
+          cost = new_cost;
+        } else {
+          placement[e] = old_cell;
+        }
+      }
+      temperature *= 0.985;
+    }
+
+    OpCounts c;
+    c.flops = 8ULL * nets_.size() * elements_ * sweeps;
+    c.bytes_read = sizeof(double) * nets_.size() * elements_ * sweeps;
+    FlopCounter::instance().add(c);
+    return std::vector<double>{cost};
+  });
+}
+
+double CannealApp::other_part_seconds(std::size_t i) const {
+  // Netlist load stand-in.
+  const Timer t;
+  volatile double sink = routing_cost(i, [&] {
+    std::vector<std::size_t> p(elements_);
+    std::iota(p.begin(), p.end(), 0);
+    return p;
+  }());
+  (void)sink;
+  return t.seconds();
+}
+
+double CannealApp::qoi(std::size_t i, std::span<const double> region_outputs) const {
+  (void)i;
+  AHN_CHECK(region_outputs.size() == 1);
+  return region_outputs[0];
+}
+
+}  // namespace ahn::apps

@@ -1,0 +1,51 @@
+#pragma once
+// Canneal application (Type II, Table 2: Canneal:Annealing). Simulated
+// annealing of a netlist placement on a grid; each input problem varies the
+// net weights. The replaced region is the annealing loop; the QoI is the
+// final routing cost.
+
+#include "apps/application.hpp"
+
+namespace ahn::apps {
+
+class CannealApp final : public Application {
+ public:
+  CannealApp(std::size_t elements = 48, std::size_t nets = 96, std::size_t grid = 8,
+             std::size_t sweeps = 16);
+
+  [[nodiscard]] std::string name() const override { return "Canneal"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeII; }
+  [[nodiscard]] std::string replaced_function() const override { return "Annealing"; }
+  [[nodiscard]] std::string qoi_name() const override { return "Routing cost"; }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return weights_.size(); }
+
+  /// One feature per net: its weight.
+  [[nodiscard]] std::size_t input_dim() const override { return nets_.size(); }
+  [[nodiscard]] std::size_t output_dim() const override { return 1; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override {
+    return weights_.at(i);
+  }
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+
+  /// Routing cost of a placement under problem-i weights (for tests).
+  [[nodiscard]] double routing_cost(std::size_t i,
+                                    const std::vector<std::size_t>& placement) const;
+
+ private:
+  [[nodiscard]] RegionRun anneal(std::size_t i, std::size_t sweeps) const;
+
+  std::size_t elements_, grid_, sweeps_;
+  std::vector<std::pair<std::size_t, std::size_t>> nets_;  ///< element pairs
+  std::vector<std::vector<double>> weights_;               ///< per-problem net weights
+};
+
+}  // namespace ahn::apps

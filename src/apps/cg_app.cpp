@@ -1,0 +1,132 @@
+#include "apps/cg_app.hpp"
+
+#include <algorithm>
+
+#include "sparse/generators.hpp"
+#include "sparse/spmv.hpp"
+#include "tensor/ops.hpp"
+
+namespace ahn::apps {
+
+CgApp::CgApp(std::size_t dim, std::size_t nnz_per_row, std::size_t solver_repeats)
+    : dim_(dim), nnz_per_row_(nnz_per_row), repeats_(solver_repeats) {
+  AHN_CHECK(dim >= 8 && solver_repeats >= 1);
+}
+
+void CgApp::generate_problems(std::size_t count, std::uint64_t seed) {
+  problems_.clear();
+  problems_.reserve(count);
+  Rng rng(seed);
+  // Fixed sparsity pattern across problems (same program, different inputs):
+  // generate a base matrix, then per-problem jitter values on the pattern.
+  const sparse::Csr base = sparse::random_spd(dim_, nnz_per_row_, rng);
+  for (std::size_t p = 0; p < count; ++p) {
+    ProblemInstance inst;
+    inst.a = base;
+    auto& vals = inst.a.mutable_values();
+    // Scale symmetric pairs consistently by jittering per-row-and-column
+    // scaling factors d_i: a_ij *= d_i * d_j keeps symmetry and SPD.
+    std::vector<double> d(dim_);
+    for (auto& v : d) v = 1.0 + 0.02 * rng.uniform(-1.0, 1.0);
+    const auto& rp = inst.a.row_ptr();
+    const auto& ci = inst.a.col_idx();
+    for (std::size_t r = 0; r < dim_; ++r) {
+      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+        vals[k] *= d[r] * d[ci[k]];
+      }
+    }
+    inst.b = sparse::random_rhs(dim_, rng);
+    problems_.push_back(std::move(inst));
+  }
+}
+
+std::vector<double> CgApp::input_features(std::size_t i) const {
+  const ProblemInstance& p = problems_.at(i);
+  std::vector<double> feat(input_dim(), 0.0);
+  const auto& rp = p.a.row_ptr();
+  const auto& ci = p.a.col_idx();
+  const auto& v = p.a.values();
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      feat[r * dim_ + ci[k]] = v[k];
+    }
+  }
+  std::copy(p.b.begin(), p.b.end(), feat.begin() + static_cast<std::ptrdiff_t>(dim_ * dim_));
+  return feat;
+}
+
+sparse::Csr CgApp::sparse_input_batch(std::span<const std::size_t> problems) const {
+  sparse::Coo coo;
+  coo.rows = problems.size();
+  coo.cols = input_dim();
+  for (std::size_t r = 0; r < problems.size(); ++r) {
+    const ProblemInstance& p = problems_.at(problems[r]);
+    const auto& rp = p.a.row_ptr();
+    const auto& ci = p.a.col_idx();
+    const auto& v = p.a.values();
+    for (std::size_t row = 0; row < dim_; ++row) {
+      for (std::size_t k = rp[row]; k < rp[row + 1]; ++k) {
+        coo.push(r, row * dim_ + ci[k], v[k]);
+      }
+    }
+    for (std::size_t j = 0; j < dim_; ++j) {
+      if (p.b[j] != 0.0) coo.push(r, dim_ * dim_ + j, p.b[j]);
+    }
+  }
+  return sparse::Csr::from_coo(std::move(coo));
+}
+
+RegionRun CgApp::run_region(std::size_t i) const {
+  const ProblemInstance& p = problems_.at(i);
+  return timed_region([&] {
+    // NPB CG invokes the solve repeatedly per benchmark iteration; the
+    // repeat factor models that per-region weight.
+    std::vector<double> x(dim_, 0.0);
+    for (std::size_t r = 0; r < repeats_; ++r) {
+      std::fill(x.begin(), x.end(), 0.0);
+      conjugate_gradient(p.a, p.b, x, 1e-10, 4 * dim_);
+    }
+    return x;
+  });
+}
+
+RegionRun CgApp::run_region_perforated(std::size_t i, double keep_fraction) const {
+  AHN_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  const ProblemInstance& p = problems_.at(i);
+  // Perforating the solver loop = capping iterations at a fraction of the
+  // dimension (CG's theoretical convergence bound).
+  const auto max_iter = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction * static_cast<double>(dim_)));
+  return timed_region([&] {
+    std::vector<double> x(dim_, 0.0);
+    for (std::size_t r = 0; r < repeats_; ++r) {
+      std::fill(x.begin(), x.end(), 0.0);
+      conjugate_gradient(p.a, p.b, x, 1e-10, max_iter);
+    }
+    return x;
+  });
+}
+
+double CgApp::other_part_seconds(std::size_t i) const {
+  // NPB CG's surroundings (norm computation / reporting) are negligible
+  // relative to the solve; model as two SpMV-equivalents.
+  const ProblemInstance& p = problems_.at(i);
+  const Timer t;
+  std::vector<double> y(dim_), z(dim_);
+  sparse::spmv(p.a, p.b, y);
+  sparse::spmv(p.a, y, z);
+  return t.seconds();
+}
+
+double CgApp::qoi(std::size_t i, std::span<const double> region_outputs) const {
+  (void)i;
+  return ops::norm2(region_outputs);
+}
+
+double CgApp::qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                        std::span<const double> surrogate_outputs) const {
+  (void)i;
+  return relative_l2(surrogate_outputs, exact_outputs);
+}
+
+}  // namespace ahn::apps

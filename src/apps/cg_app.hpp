@@ -1,0 +1,64 @@
+#pragma once
+// NPB-style Conjugate Gradient application (Type I, Table 2: CG:CG_solver).
+// Each input problem is a sparse SPD system (jittered values on a fixed
+// random pattern) plus a random right-hand side; the replaced region is the
+// CG solve; the QoI is the solution of the linear system.
+
+#include "apps/application.hpp"
+#include "apps/solvers.hpp"
+
+namespace ahn::apps {
+
+class CgApp final : public Application {
+ public:
+  explicit CgApp(std::size_t dim = 64, std::size_t nnz_per_row = 3,
+                 std::size_t solver_repeats = 8);
+
+  [[nodiscard]] std::string name() const override { return "CG"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeI; }
+  [[nodiscard]] std::string replaced_function() const override { return "CG_solver"; }
+  [[nodiscard]] std::string qoi_name() const override {
+    return "Solution of linear equations";
+  }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return problems_.size(); }
+
+  [[nodiscard]] std::size_t recommended_train_problems() const override {
+    return 500;
+  }
+
+  [[nodiscard]] std::size_t input_dim() const override {
+    return dim_ * dim_ + dim_;  // dense matrix expansion + rhs
+  }
+  [[nodiscard]] std::size_t output_dim() const override { return dim_; }
+  [[nodiscard]] bool has_sparse_input() const override { return true; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override;
+  [[nodiscard]] sparse::Csr sparse_input_batch(
+      std::span<const std::size_t> problems) const override;
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+  [[nodiscard]] double qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                                 std::span<const double> surrogate_outputs) const override;
+
+  [[nodiscard]] const sparse::Csr& matrix(std::size_t i) const {
+    return problems_.at(i).a;
+  }
+
+ private:
+  struct ProblemInstance {
+    sparse::Csr a;
+    std::vector<double> b;
+  };
+
+  std::size_t dim_, nnz_per_row_, repeats_;
+  std::vector<ProblemInstance> problems_;
+};
+
+}  // namespace ahn::apps

@@ -1,0 +1,28 @@
+#pragma once
+// Radix-2 Cooley-Tukey FFT (the FFT_solver kernel of the Type-I FFT
+// application) plus a naive DFT reference used by the property tests.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace ahn::apps {
+
+using Complex = std::complex<double>;
+
+/// In-place iterative radix-2 FFT; size must be a power of two.
+void fft_inplace(std::vector<Complex>& data, bool inverse = false);
+
+/// Forward FFT of a real sequence; returns interleaved (re, im) pairs.
+[[nodiscard]] std::vector<double> fft_real(std::span<const double> input);
+
+/// Stage-perforated forward FFT: only the first ceil(keep * log2 n)
+/// butterfly stages run (the loop-perforation baseline's view of the
+/// kernel). keep = 1 reproduces fft_real exactly.
+[[nodiscard]] std::vector<double> fft_real_perforated(std::span<const double> input,
+                                                      double keep);
+
+/// O(n^2) reference DFT (testing oracle).
+[[nodiscard]] std::vector<Complex> dft_reference(std::span<const Complex> input);
+
+}  // namespace ahn::apps

@@ -1,0 +1,83 @@
+#include "apps/fft_app.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "apps/fft.hpp"
+#include "tensor/ops.hpp"
+
+namespace ahn::apps {
+
+FftApp::FftApp(std::size_t signal_len, std::size_t repeat)
+    : len_(signal_len), repeat_(repeat) {
+  AHN_CHECK((len_ & (len_ - 1)) == 0 && len_ >= 8);
+  AHN_CHECK(repeat_ >= 1);
+}
+
+void FftApp::generate_problems(std::size_t count, std::uint64_t seed) {
+  signals_.clear();
+  signals_.reserve(count);
+  Rng rng(seed);
+  for (std::size_t p = 0; p < count; ++p) {
+    std::vector<double> s(len_, 0.0);
+    const std::size_t modes = 2 + rng.uniform_index(4);
+    for (std::size_t m = 0; m < modes; ++m) {
+      const double freq = 1.0 + static_cast<double>(rng.uniform_index(len_ / 4));
+      const double amp = rng.uniform(0.3, 1.5);
+      const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+      for (std::size_t t = 0; t < len_; ++t) {
+        s[t] += amp * std::sin(2.0 * std::numbers::pi * freq *
+                                   static_cast<double>(t) / static_cast<double>(len_) +
+                               phase);
+      }
+    }
+    for (double& v : s) v += rng.gaussian(0.0, 0.02);
+    signals_.push_back(std::move(s));
+  }
+}
+
+RegionRun FftApp::run_region(std::size_t i) const {
+  const std::vector<double>& s = signals_.at(i);
+  return timed_region([&] {
+    // NPB FT applies the transform over many planes; model the same compute
+    // weight by repeating the kernel (identical result each pass).
+    std::vector<double> out;
+    for (std::size_t r = 0; r < repeat_; ++r) out = fft_real(s);
+    return out;
+  });
+}
+
+RegionRun FftApp::run_region_perforated(std::size_t i, double keep_fraction) const {
+  const std::vector<double>& s = signals_.at(i);
+  return timed_region([&] {
+    std::vector<double> out;
+    for (std::size_t r = 0; r < repeat_; ++r) out = fft_real_perforated(s, keep_fraction);
+    return out;
+  });
+}
+
+double FftApp::other_part_seconds(std::size_t i) const {
+  // Signal generation / spectrum post-processing stand-in: one pass of
+  // elementwise work over the signal.
+  const std::vector<double>& s = signals_.at(i);
+  const Timer t;
+  double acc = 0.0;
+  for (double v : s) acc += v * v;
+  // Prevent the loop from being optimized out.
+  volatile double sink = acc;
+  (void)sink;
+  return t.seconds();
+}
+
+double FftApp::qoi(std::size_t i, std::span<const double> region_outputs) const {
+  (void)i;
+  return ops::norm2(region_outputs);
+}
+
+double FftApp::qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                         std::span<const double> surrogate_outputs) const {
+  (void)i;
+  return relative_l2(surrogate_outputs, exact_outputs);
+}
+
+}  // namespace ahn::apps

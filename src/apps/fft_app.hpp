@@ -1,0 +1,50 @@
+#pragma once
+// FFT application (Type I, Table 2: FFT:FFT_solver). Input problems are
+// real signals (sums of random sinusoids plus noise); the replaced region is
+// the forward FFT; the QoI is the output sequence.
+
+#include "apps/application.hpp"
+
+namespace ahn::apps {
+
+class FftApp final : public Application {
+ public:
+  explicit FftApp(std::size_t signal_len = 64, std::size_t repeat = 128);
+
+  [[nodiscard]] std::string name() const override { return "FFT"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeI; }
+  [[nodiscard]] std::string replaced_function() const override { return "FFT_solver"; }
+  [[nodiscard]] std::string qoi_name() const override {
+    return "Output sequence of FFT";
+  }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return signals_.size(); }
+
+  [[nodiscard]] std::size_t recommended_train_problems() const override {
+    return 800;
+  }
+
+  [[nodiscard]] std::size_t input_dim() const override { return len_; }
+  [[nodiscard]] std::size_t output_dim() const override { return 2 * len_; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override {
+    return signals_.at(i);
+  }
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+  [[nodiscard]] double qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                                 std::span<const double> surrogate_outputs) const override;
+
+ private:
+  std::size_t len_;
+  std::size_t repeat_;  ///< batched transforms per region call (NPB FT style)
+  std::vector<std::vector<double>> signals_;
+};
+
+}  // namespace ahn::apps

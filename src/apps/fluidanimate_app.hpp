@@ -1,0 +1,60 @@
+#pragma once
+// fluidanimate application (Type II, Table 2: fluidanimation:NS_equation).
+// One incompressible-flow projection step on a staggered-lite n x n grid:
+// compute the velocity divergence, solve the pressure Poisson system with
+// the PCG method (Algorithm 1 of the paper), and subtract the pressure
+// gradient. The replaced region is the full NS step; the QoI is the
+// resulting velocity field (particle distance proxy).
+
+#include "apps/application.hpp"
+#include "apps/solvers.hpp"
+
+namespace ahn::apps {
+
+class FluidanimateApp final : public Application {
+ public:
+  explicit FluidanimateApp(std::size_t grid_n = 12);
+
+  [[nodiscard]] std::string name() const override { return "fluidanimate"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeII; }
+  [[nodiscard]] std::string replaced_function() const override { return "NS_equation"; }
+  [[nodiscard]] std::string qoi_name() const override { return "Particle distance"; }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return velocity_.size(); }
+
+  [[nodiscard]] std::size_t recommended_train_problems() const override {
+    return 800;
+  }
+
+  /// Input: the pre-step velocity field (u then v), 2 * n * n features.
+  [[nodiscard]] std::size_t input_dim() const override { return 2 * n_ * n_; }
+  /// Output: the projected (divergence-free) velocity field.
+  [[nodiscard]] std::size_t output_dim() const override { return 2 * n_ * n_; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override {
+    return velocity_.at(i);
+  }
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+  [[nodiscard]] double qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                                 std::span<const double> surrogate_outputs) const override;
+
+  /// Divergence of a velocity field (exposed for tests/QoI of Laghos-style
+  /// checks): central differences with clamped boundaries.
+  [[nodiscard]] std::vector<double> divergence(std::span<const double> velocity) const;
+
+ private:
+  [[nodiscard]] RegionRun projection_step(std::size_t i, std::size_t max_pcg_iters) const;
+
+  std::size_t n_;
+  sparse::Csr poisson_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+}  // namespace ahn::apps

@@ -1,0 +1,114 @@
+#include "apps/laghos_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sparse/spmv.hpp"
+
+namespace ahn::apps {
+
+LaghosApp::LaghosApp(std::size_t zones, std::size_t rk_stages)
+    : zones_(zones), rk_stages_(rk_stages) {
+  AHN_CHECK(zones >= 8 && rk_stages >= 1);
+}
+
+sparse::Csr LaghosApp::assemble_mass(const std::vector<double>& w) {
+  // 1-D linear finite-element mass matrix with per-zone weights:
+  // tridiagonal, rows [w/6, 2(w_l + w_r)/6, w/6]-like; SPD by construction.
+  const std::size_t n = w.size();
+  sparse::Coo coo;
+  coo.rows = coo.cols = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wl = i > 0 ? w[i - 1] : 0.0;
+    const double wr = w[i];
+    coo.push(i, i, 2.0 * (wl + wr) / 6.0 + 1e-6);
+    if (i > 0) coo.push(i, i - 1, wl / 6.0);
+    if (i + 1 < n) coo.push(i, i + 1, wr / 6.0);
+  }
+  return sparse::Csr::from_coo(std::move(coo));
+}
+
+void LaghosApp::generate_problems(std::size_t count, std::uint64_t seed) {
+  problems_.clear();
+  problems_.reserve(count);
+  Rng rng(seed);
+  for (std::size_t p = 0; p < count; ++p) {
+    ProblemInstance inst;
+    inst.mass_weights.resize(zones_);
+    for (auto& w : inst.mass_weights) w = std::exp(rng.gaussian(0.0, 0.1));
+    // Smooth shock-tube-like force profile: pressure gradient of a smoothed
+    // step plus random long-wavelength modes.
+    inst.force.resize(zones_);
+    const double step_pos = rng.uniform(0.3, 0.7) * static_cast<double>(zones_);
+    const double amp = rng.uniform(0.5, 2.0);
+    for (std::size_t z = 0; z < zones_; ++z) {
+      const double x = static_cast<double>(z);
+      inst.force[z] = -amp / (1.0 + std::pow((x - step_pos) / 4.0, 2.0));
+      inst.force[z] += 0.2 * std::sin(2.0 * std::numbers::pi * x /
+                                      static_cast<double>(zones_) *
+                                      (1.0 + rng.uniform()));
+    }
+    inst.mass = assemble_mass(inst.mass_weights);
+    problems_.push_back(std::move(inst));
+  }
+}
+
+std::vector<double> LaghosApp::input_features(std::size_t i) const {
+  const ProblemInstance& p = problems_.at(i);
+  std::vector<double> feat;
+  feat.reserve(input_dim());
+  feat.insert(feat.end(), p.mass_weights.begin(), p.mass_weights.end());
+  feat.insert(feat.end(), p.force.begin(), p.force.end());
+  return feat;
+}
+
+RegionRun LaghosApp::run_region(std::size_t i) const {
+  const ProblemInstance& p = problems_.at(i);
+  return timed_region([&] {
+    // One solve per Runge-Kutta stage (Laghos solves the velocity system
+    // several times per step).
+    std::vector<double> v(zones_, 0.0);
+    for (std::size_t s = 0; s < rk_stages_; ++s) {
+      std::fill(v.begin(), v.end(), 0.0);
+      conjugate_gradient(p.mass, p.force, v, 1e-12, 8 * zones_);
+    }
+    return v;
+  });
+}
+
+RegionRun LaghosApp::run_region_perforated(std::size_t i, double keep_fraction) const {
+  AHN_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  const ProblemInstance& p = problems_.at(i);
+  const auto max_iter = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction * static_cast<double>(zones_) * 0.5));
+  return timed_region([&] {
+    std::vector<double> v(zones_, 0.0);
+    for (std::size_t s = 0; s < rk_stages_; ++s) {
+      std::fill(v.begin(), v.end(), 0.0);
+      conjugate_gradient(p.mass, p.force, v, 1e-12, max_iter);
+    }
+    return v;
+  });
+}
+
+double LaghosApp::other_part_seconds(std::size_t i) const {
+  // Energy / position update stand-in: one matrix apply.
+  const ProblemInstance& p = problems_.at(i);
+  const Timer t;
+  std::vector<double> y(zones_);
+  sparse::spmv(p.mass, p.force, y);
+  return t.seconds();
+}
+
+double LaghosApp::qoi(std::size_t i, std::span<const double> region_outputs) const {
+  (void)i;
+  // Velocity divergence in 1-D: total absolute velocity gradient.
+  double s = 0.0;
+  for (std::size_t z = 1; z < region_outputs.size(); ++z) {
+    s += std::abs(region_outputs[z] - region_outputs[z - 1]);
+  }
+  return s;
+}
+
+}  // namespace ahn::apps

@@ -1,0 +1,54 @@
+#pragma once
+// Laghos application (Type III, Table 2: Laghos:SolveVelocity). One velocity
+// update of a 1-D Lagrangian hydrodynamics step: solve M v = f with CG,
+// where M is the (jittered) velocity mass matrix and f the force vector.
+// The QoI is the velocity divergence.
+
+#include "apps/application.hpp"
+#include "apps/solvers.hpp"
+
+namespace ahn::apps {
+
+class LaghosApp final : public Application {
+ public:
+  explicit LaghosApp(std::size_t zones = 96, std::size_t rk_stages = 3);
+
+  [[nodiscard]] std::string name() const override { return "Laghos"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeIII; }
+  [[nodiscard]] std::string replaced_function() const override { return "SolveVelocity"; }
+  [[nodiscard]] std::string qoi_name() const override { return "Velocity Divergence"; }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return problems_.size(); }
+
+  [[nodiscard]] std::size_t recommended_train_problems() const override {
+    return 800;
+  }
+
+  /// Mass-matrix element weights (zones) + force vector (zones).
+  [[nodiscard]] std::size_t input_dim() const override { return 2 * zones_; }
+  [[nodiscard]] std::size_t output_dim() const override { return zones_; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override;
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+
+ private:
+  struct ProblemInstance {
+    std::vector<double> mass_weights;  ///< per-zone density-like weights
+    std::vector<double> force;
+    sparse::Csr mass;
+  };
+
+  [[nodiscard]] static sparse::Csr assemble_mass(const std::vector<double>& w);
+
+  std::size_t zones_, rk_stages_;
+  std::vector<ProblemInstance> problems_;
+};
+
+}  // namespace ahn::apps

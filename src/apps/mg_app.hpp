@@ -1,0 +1,48 @@
+#pragma once
+// Multi-Grid application (Type I, Table 2: MG:MG_solver). Poisson problem on
+// a regular grid with sparse right-hand sides (a few point sources); the
+// replaced region is the V-cycle solve; the QoI is the solver residual.
+
+#include "apps/application.hpp"
+#include "apps/solvers.hpp"
+
+namespace ahn::apps {
+
+class MgApp final : public Application {
+ public:
+  explicit MgApp(std::size_t grid_n = 8, std::size_t sources = 5);
+
+  [[nodiscard]] std::string name() const override { return "MG"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeI; }
+  [[nodiscard]] std::string replaced_function() const override { return "MG_solver"; }
+  [[nodiscard]] std::string qoi_name() const override {
+    return "The final residual of the solver";
+  }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return rhs_.size(); }
+
+  [[nodiscard]] std::size_t input_dim() const override { return mg_.dim(); }
+  [[nodiscard]] std::size_t output_dim() const override { return mg_.dim(); }
+  [[nodiscard]] bool has_sparse_input() const override { return true; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override {
+    return rhs_.at(i);
+  }
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+  [[nodiscard]] double qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                                 std::span<const double> surrogate_outputs) const override;
+
+ private:
+  GeometricMultigrid mg_;
+  std::size_t sources_;
+  std::vector<std::vector<double>> rhs_;
+};
+
+}  // namespace ahn::apps

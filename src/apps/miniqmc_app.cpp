@@ -1,0 +1,157 @@
+#include "apps/miniqmc_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/flops.hpp"
+
+namespace ahn::apps {
+
+MiniQmcApp::MiniQmcApp(std::size_t particles, std::size_t repeat)
+    : n_(particles), repeat_(repeat) {
+  AHN_CHECK(particles >= 2 && repeat >= 1);
+  // Fixed orbital centers on a jittered lattice (the molecular geometry).
+  Rng rng(0x0a0b17a1ULL);
+  orbitals_.reserve(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    orbitals_.push_back({static_cast<double>(j % 2) + 0.2 * rng.gaussian(),
+                         static_cast<double>((j / 2) % 2) + 0.2 * rng.gaussian(),
+                         static_cast<double>(j / 4) + 0.2 * rng.gaussian()});
+  }
+}
+
+void MiniQmcApp::generate_problems(std::size_t count, std::uint64_t seed) {
+  positions_.clear();
+  positions_.reserve(count);
+  Rng rng(seed);
+  for (std::size_t p = 0; p < count; ++p) {
+    // Particles thermally displaced around the orbital centers.
+    std::vector<double> pos(3 * n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        pos[3 * i + c] = orbitals_[i][c] + rng.gaussian(0.0, 0.25);
+      }
+    }
+    positions_.push_back(std::move(pos));
+  }
+}
+
+std::vector<double> MiniQmcApp::slater_matrix(std::span<const double> pos) const {
+  AHN_CHECK(pos.size() == 3 * n_);
+  std::vector<double> a(n_ * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      double r2 = 0.0;
+      for (std::size_t c = 0; c < 3; ++c) {
+        const double d = pos[3 * i + c] - orbitals_[j][c];
+        r2 += d * d;
+      }
+      a[i * n_ + j] = std::exp(-r2);  // Gaussian orbital phi_j(r_i)
+    }
+  }
+  return a;
+}
+
+RegionRun MiniQmcApp::run_region(std::size_t i) const {
+  return determinant_kernel(i, n_);
+}
+
+RegionRun MiniQmcApp::run_region_perforated(std::size_t i, double keep_fraction) const {
+  AHN_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  // Perforate the energy-trace loop: only the first keep*N columns of
+  // tr(A^{-1} B) are evaluated and the partial sum is rescaled — a biased
+  // estimate, which is why perforation does poorly here (paper Fig. 6).
+  const auto cols = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction * static_cast<double>(n_)));
+  return determinant_kernel(i, cols);
+}
+
+RegionRun MiniQmcApp::determinant_kernel(std::size_t i, std::size_t energy_cols) const {
+  const std::vector<double>& pos = positions_.at(i);
+  return timed_region([&] {
+    double logdet = 0.0, energy = 0.0;
+    for (std::size_t rep = 0; rep < repeat_; ++rep) {
+      std::vector<double> a = slater_matrix(pos);
+
+      // LU with partial pivoting; accumulate log|det| and keep the factors
+      // to evaluate the energy proxy via linear solves.
+      std::vector<std::size_t> piv(n_);
+      logdet = 0.0;
+      double sign = 1.0;
+      for (std::size_t k = 0; k < n_; ++k) {
+        std::size_t p = k;
+        for (std::size_t r = k + 1; r < n_; ++r) {
+          if (std::abs(a[r * n_ + k]) > std::abs(a[p * n_ + k])) p = r;
+        }
+        piv[k] = p;
+        if (p != k) {
+          for (std::size_t c = 0; c < n_; ++c) std::swap(a[k * n_ + c], a[p * n_ + c]);
+          sign = -sign;
+        }
+        const double pivot = a[k * n_ + k];
+        AHN_CHECK_MSG(std::abs(pivot) > 1e-14, "singular Slater matrix");
+        logdet += std::log(std::abs(pivot));
+        for (std::size_t r = k + 1; r < n_; ++r) {
+          const double m = a[r * n_ + k] / pivot;
+          a[r * n_ + k] = m;
+          for (std::size_t c = k + 1; c < n_; ++c) a[r * n_ + c] -= m * a[k * n_ + c];
+        }
+      }
+
+      // Kinetic-energy proxy: tr(A^{-1} B) with B the Laplacian-weighted
+      // Slater matrix (B_ij = (4 r^2 - 6) phi_j(r_i)). Solve A x = b per
+      // column of B using the LU factors.
+      const std::vector<double> phi = slater_matrix(pos);
+      energy = 0.0;
+      for (std::size_t col = 0; col < energy_cols; ++col) {
+        std::vector<double> b(n_);
+        for (std::size_t r = 0; r < n_; ++r) {
+          double r2 = 0.0;
+          for (std::size_t c = 0; c < 3; ++c) {
+            const double d = pos[3 * r + c] - orbitals_[col][c];
+            r2 += d * d;
+          }
+          b[r] = (4.0 * r2 - 6.0) * phi[r * n_ + col];
+        }
+        // Apply the recorded row swaps, then forward/back substitution.
+        for (std::size_t k = 0; k < n_; ++k) {
+          if (piv[k] != k) std::swap(b[k], b[piv[k]]);
+        }
+        for (std::size_t r = 1; r < n_; ++r) {
+          for (std::size_t c = 0; c < r; ++c) b[r] -= a[r * n_ + c] * b[c];
+        }
+        for (std::size_t r = n_; r-- > 0;) {
+          for (std::size_t c = r + 1; c < n_; ++c) b[r] -= a[r * n_ + c] * b[c];
+          b[r] /= a[r * n_ + r];
+        }
+        energy += b[col];  // diagonal element of A^{-1} B
+      }
+      // Rescale the partial trace when columns were perforated.
+      energy *= static_cast<double>(n_) / static_cast<double>(energy_cols);
+    }
+    OpCounts c;
+    c.flops = repeat_ * (2ULL * n_ * n_ * n_ / 3ULL + 2ULL * n_ * n_ * n_);
+    c.bytes_read = repeat_ * sizeof(double) * n_ * n_ * 4;
+    FlopCounter::instance().add(c);
+    return std::vector<double>{logdet, energy};
+  });
+}
+
+double MiniQmcApp::other_part_seconds(std::size_t i) const {
+  // Walker-move proposal stand-in.
+  const std::vector<double>& pos = positions_.at(i);
+  const Timer t;
+  double acc = 0.0;
+  for (double v : pos) acc += v * v;
+  volatile double sink = acc;
+  (void)sink;
+  return t.seconds();
+}
+
+double MiniQmcApp::qoi(std::size_t i, std::span<const double> region_outputs) const {
+  (void)i;
+  AHN_CHECK(region_outputs.size() == 2);
+  return region_outputs[1];  // particle energy
+}
+
+}  // namespace ahn::apps

@@ -1,0 +1,54 @@
+#pragma once
+// miniQMC application (Type III, Table 2: miniQMC:Determinant). A Slater
+// matrix is built from particle positions with Gaussian orbitals; the
+// replaced region evaluates log|det| (LU with partial pivoting) and a local
+// kinetic-energy proxy tr(A^{-1} dA). The QoI is the particle energy.
+
+#include "apps/application.hpp"
+
+namespace ahn::apps {
+
+class MiniQmcApp final : public Application {
+ public:
+  explicit MiniQmcApp(std::size_t particles = 8, std::size_t repeat = 48);
+
+  [[nodiscard]] std::string name() const override { return "miniQMC"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeIII; }
+  [[nodiscard]] std::string replaced_function() const override { return "Determinant"; }
+  [[nodiscard]] std::string qoi_name() const override { return "Particle energy"; }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return positions_.size(); }
+
+  [[nodiscard]] std::size_t recommended_train_problems() const override {
+    return 1000;
+  }
+
+  /// 3 coordinates per particle.
+  [[nodiscard]] std::size_t input_dim() const override { return 3 * n_; }
+  /// [log|det|, energy proxy].
+  [[nodiscard]] std::size_t output_dim() const override { return 2; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override {
+    return positions_.at(i);
+  }
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+
+  /// Builds the Slater matrix for a position vector (exposed for tests).
+  [[nodiscard]] std::vector<double> slater_matrix(std::span<const double> pos) const;
+
+ private:
+  [[nodiscard]] RegionRun determinant_kernel(std::size_t i, std::size_t energy_cols) const;
+
+  std::size_t n_, repeat_;
+  std::vector<std::vector<double>> orbitals_;  ///< fixed orbital centers (3 each)
+  std::vector<std::vector<double>> positions_;
+};
+
+}  // namespace ahn::apps

@@ -1,0 +1,46 @@
+#include "apps/registry.hpp"
+
+#include "apps/amg_app.hpp"
+#include "apps/blackscholes_app.hpp"
+#include "apps/canneal_app.hpp"
+#include "apps/cg_app.hpp"
+#include "apps/fft_app.hpp"
+#include "apps/fluidanimate_app.hpp"
+#include "apps/laghos_app.hpp"
+#include "apps/mg_app.hpp"
+#include "apps/miniqmc_app.hpp"
+#include "apps/streamcluster_app.hpp"
+#include "apps/x264_app.hpp"
+#include "common/error.hpp"
+
+namespace ahn::apps {
+
+std::vector<std::string> application_names() {
+  return {"CG",           "FFT",   "MG",   "Blackscholes", "Canneal", "fluidanimate",
+          "streamcluster", "X264", "miniQMC", "AMG",       "Laghos"};
+}
+
+std::unique_ptr<Application> make_application(const std::string& name) {
+  if (name == "CG") return std::make_unique<CgApp>();
+  if (name == "FFT") return std::make_unique<FftApp>();
+  if (name == "MG") return std::make_unique<MgApp>();
+  if (name == "Blackscholes") return std::make_unique<BlackscholesApp>();
+  if (name == "Canneal") return std::make_unique<CannealApp>();
+  if (name == "fluidanimate") return std::make_unique<FluidanimateApp>();
+  if (name == "streamcluster") return std::make_unique<StreamclusterApp>();
+  if (name == "X264") return std::make_unique<X264App>();
+  if (name == "miniQMC") return std::make_unique<MiniQmcApp>();
+  if (name == "AMG") return std::make_unique<AmgApp>();
+  if (name == "Laghos") return std::make_unique<LaghosApp>();
+  throw Error("unknown application: " + name);
+}
+
+std::vector<std::unique_ptr<Application>> make_all_applications() {
+  std::vector<std::unique_ptr<Application>> out;
+  for (const std::string& name : application_names()) {
+    out.push_back(make_application(name));
+  }
+  return out;
+}
+
+}  // namespace ahn::apps

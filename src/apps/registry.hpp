@@ -1,0 +1,21 @@
+#pragma once
+// Factory for the 11 evaluation applications (Table 2).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/application.hpp"
+
+namespace ahn::apps {
+
+/// Names of all applications in Table 2 order.
+[[nodiscard]] std::vector<std::string> application_names();
+
+/// Creates one application by Table 2 name; throws on unknown names.
+[[nodiscard]] std::unique_ptr<Application> make_application(const std::string& name);
+
+/// Creates all 11 applications.
+[[nodiscard]] std::vector<std::unique_ptr<Application>> make_all_applications();
+
+}  // namespace ahn::apps

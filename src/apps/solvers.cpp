@@ -1,0 +1,265 @@
+#include "apps/solvers.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/spmv.hpp"
+#include "tensor/ops.hpp"
+
+namespace ahn::apps {
+
+namespace {
+double dot(std::span<const double> a, std::span<const double> b) {
+  return ops::dot(a, b);
+}
+double nrm2(std::span<const double> v) { return ops::norm2(v); }
+}  // namespace
+
+SolveStats conjugate_gradient(const sparse::Csr& a, std::span<const double> b,
+                              std::span<double> x, double tol, std::size_t max_iter) {
+  return preconditioned_cg(
+      a, b, x,
+      [](std::span<const double> r, std::span<double> z) {
+        std::copy(r.begin(), r.end(), z.begin());
+      },
+      tol, max_iter);
+}
+
+SolveStats preconditioned_cg(const sparse::Csr& a, std::span<const double> b,
+                             std::span<double> x, const Preconditioner& m_inv,
+                             double tol, std::size_t max_iter) {
+  const std::size_t n = a.rows();
+  AHN_CHECK(a.cols() == n && b.size() == n && x.size() == n);
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  // r0 = b - A x0
+  sparse::spmv(a, x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  m_inv(r, z);
+  std::copy(z.begin(), z.end(), p.begin());
+
+  double rz = dot(r, z);
+  const double b_norm = std::max(nrm2(b), 1e-30);
+
+  SolveStats stats;
+  stats.final_residual = nrm2(r) / b_norm;
+  if (stats.final_residual < tol) {
+    stats.converged = true;
+    return stats;
+  }
+
+  for (std::size_t it = 0; it < max_iter; ++it) {
+    sparse::spmv(a, p, ap);
+    const double pap = dot(p, ap);
+    AHN_CHECK_MSG(pap > 0.0, "matrix not SPD in CG (p^T A p = " << pap << ")");
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+    }
+    stats.iterations = it + 1;
+    stats.final_residual = nrm2(r) / b_norm;
+    if (stats.final_residual < tol) {
+      stats.converged = true;
+      return stats;
+    }
+    m_inv(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return stats;
+}
+
+Preconditioner jacobi_preconditioner(const sparse::Csr& a) {
+  auto diag = std::make_shared<std::vector<double>>(a.diagonal());
+  for (double& d : *diag) d = std::abs(d) > 1e-30 ? 1.0 / d : 1.0;
+  return [diag](std::span<const double> r, std::span<double> z) {
+    for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * (*diag)[i];
+  };
+}
+
+// ------------------------------------------------------------ geometric MG
+
+GeometricMultigrid::GeometricMultigrid(std::size_t n, std::size_t levels) : n_(n) {
+  AHN_CHECK(n >= 4);
+  a_.push_back(sparse::poisson2d(n));
+  std::size_t m = n;
+  const std::size_t max_levels = levels == 0 ? 16 : levels;
+  while (a_.size() < max_levels && m % 2 == 0 && m / 2 >= 2) {
+    const std::size_t mc = m / 2;
+    // Structured 2x2 cell aggregation: coarse cell (ic, jc) owns the four
+    // fine cells (2ic + di, 2jc + dj).
+    sparse::Coo pcoo;
+    pcoo.rows = m * m;
+    pcoo.cols = mc * mc;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        pcoo.push(i * m + j, (i / 2) * mc + (j / 2), 1.0);
+      }
+    }
+    sparse::Csr p = sparse::Csr::from_coo(std::move(pcoo));
+    const sparse::Csr pt = p.transpose();
+    const Tensor ap = sparse::spmm(a_.back(), p.to_dense());
+    const Tensor ac_dense = sparse::spmm(pt, ap);
+    a_.push_back(sparse::Csr::from_dense(ac_dense, 1e-14));
+    p_.push_back(std::move(p));
+    m = mc;
+  }
+}
+
+void GeometricMultigrid::vcycle(std::size_t level, std::span<const double> b,
+                                std::span<double> x) const {
+  const sparse::Csr& a = a_[level];
+  const std::size_t n = a.rows();
+  const std::vector<double> diag = a.diagonal();
+
+  auto jacobi = [&](std::size_t sweeps) {
+    std::vector<double> ax(n);
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      sparse::spmv(a, x, ax);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = std::abs(diag[i]) > 1e-30 ? diag[i] : 1.0;
+        x[i] += 0.7 * (b[i] - ax[i]) / d;
+      }
+    }
+  };
+
+  if (level + 1 == a_.size()) {
+    conjugate_gradient(a, b, x, 1e-12, 4 * n);
+    return;
+  }
+  jacobi(2);
+
+  std::vector<double> r(n);
+  sparse::spmv(a, x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const sparse::Csr& p = p_[level];
+  std::vector<double> rc(p.cols(), 0.0);
+  sparse::spmv_transpose(p, r, rc);
+
+  std::vector<double> ec(p.cols(), 0.0);
+  vcycle(level + 1, rc, ec);
+
+  std::vector<double> ef(n, 0.0);
+  sparse::spmv(p, ec, ef);
+  for (std::size_t i = 0; i < n; ++i) x[i] += ef[i];
+
+  jacobi(2);
+}
+
+void GeometricMultigrid::apply_vcycle(std::span<const double> r,
+                                      std::span<double> z) const {
+  AHN_CHECK(r.size() == dim() && z.size() == dim());
+  std::fill(z.begin(), z.end(), 0.0);
+  vcycle(0, r, z);
+}
+
+SolveStats GeometricMultigrid::solve(std::span<const double> b, std::span<double> x,
+                                     double tol, std::size_t max_cycles) const {
+  AHN_CHECK(b.size() == dim() && x.size() == dim());
+  return preconditioned_cg(
+      matrix(), b, x,
+      [this](std::span<const double> r, std::span<double> z) { apply_vcycle(r, z); },
+      tol, max_cycles);
+}
+
+// ------------------------------------------------------------ algebraic MG
+
+AlgebraicMultigrid::AlgebraicMultigrid(const sparse::Csr& a, std::size_t max_levels,
+                                       std::size_t min_coarse) {
+  AHN_CHECK(a.rows() == a.cols());
+  a_.push_back(a);
+  while (a_.size() < max_levels && a_.back().rows() > min_coarse) {
+    const sparse::Csr& fine = a_.back();
+    const std::size_t n = fine.rows();
+
+    // Greedy aggregation: each unaggregated node grabs its unaggregated
+    // strong neighbours (here: all neighbours, 5-point-style stencils are
+    // uniformly strong).
+    std::vector<std::ptrdiff_t> agg(n, -1);
+    std::size_t num_agg = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (agg[i] >= 0) continue;
+      agg[i] = static_cast<std::ptrdiff_t>(num_agg);
+      for (std::size_t k = fine.row_ptr()[i]; k < fine.row_ptr()[i + 1]; ++k) {
+        const std::size_t j = fine.col_idx()[k];
+        if (agg[j] < 0) agg[j] = static_cast<std::ptrdiff_t>(num_agg);
+      }
+      ++num_agg;
+    }
+    if (num_agg >= n) break;  // no coarsening progress
+
+    // Piecewise-constant prolongation.
+    sparse::Coo pcoo;
+    pcoo.rows = n;
+    pcoo.cols = num_agg;
+    for (std::size_t i = 0; i < n; ++i) {
+      pcoo.push(i, static_cast<std::size_t>(agg[i]), 1.0);
+    }
+    sparse::Csr p = sparse::Csr::from_coo(std::move(pcoo));
+
+    // Galerkin coarse operator: Ac = P^T A P (dense intermediate is fine at
+    // these scales; the hierarchy shrinks geometrically).
+    const sparse::Csr pt = p.transpose();
+    const Tensor ap = sparse::spmm(fine, p.to_dense());
+    const Tensor ac_dense = sparse::spmm(pt, ap);
+    sparse::Csr ac = sparse::Csr::from_dense(ac_dense, 1e-14);
+
+    p_.push_back(std::move(p));
+    a_.push_back(std::move(ac));
+  }
+}
+
+void AlgebraicMultigrid::vcycle(std::size_t level, std::span<const double> b,
+                                std::span<double> x) const {
+  const sparse::Csr& a = a_[level];
+  const std::size_t n = a.rows();
+  const std::vector<double> diag = a.diagonal();
+
+  auto jacobi = [&](std::size_t sweeps) {
+    std::vector<double> ax(n);
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      sparse::spmv(a, x, ax);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = std::abs(diag[i]) > 1e-30 ? diag[i] : 1.0;
+        x[i] += 0.7 * (b[i] - ax[i]) / d;
+      }
+    }
+  };
+
+  if (level + 1 == a_.size()) {
+    conjugate_gradient(a, b, x, 1e-10, 4 * n);
+    return;
+  }
+  jacobi(2);
+
+  std::vector<double> r(n);
+  sparse::spmv(a, x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const sparse::Csr& p = p_[level];
+  std::vector<double> rc(p.cols(), 0.0);
+  sparse::spmv_transpose(p, r, rc);
+
+  std::vector<double> ec(p.cols(), 0.0);
+  vcycle(level + 1, rc, ec);
+
+  std::vector<double> ef(n, 0.0);
+  sparse::spmv(p, ec, ef);
+  for (std::size_t i = 0; i < n; ++i) x[i] += ef[i];
+
+  jacobi(2);
+}
+
+void AlgebraicMultigrid::apply(std::span<const double> r, std::span<double> z) const {
+  AHN_CHECK(r.size() == a_.front().rows() && z.size() == r.size());
+  std::fill(z.begin(), z.end(), 0.0);
+  vcycle(0, r, z);
+}
+
+}  // namespace ahn::apps

@@ -1,0 +1,86 @@
+#pragma once
+// Shared iterative solvers used by the Type-I/III applications: plain CG,
+// preconditioned CG (Algorithm 1 of the paper), geometric multigrid V-cycle
+// and a small algebraic multigrid (smoothed-aggregation-lite) hierarchy.
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sparse/formats.hpp"
+
+namespace ahn::apps {
+
+struct SolveStats {
+  std::size_t iterations = 0;
+  double final_residual = 0.0;
+  bool converged = false;
+};
+
+/// Conjugate gradient on SPD CSR. x is in/out (initial guess).
+SolveStats conjugate_gradient(const sparse::Csr& a, std::span<const double> b,
+                              std::span<double> x, double tol = 1e-8,
+                              std::size_t max_iter = 1000);
+
+/// Preconditioned CG (Algorithm 1): M_inv applies the preconditioner.
+using Preconditioner = std::function<void(std::span<const double>, std::span<double>)>;
+SolveStats preconditioned_cg(const sparse::Csr& a, std::span<const double> b,
+                             std::span<double> x, const Preconditioner& m_inv,
+                             double tol = 1e-8, std::size_t max_iter = 1000);
+
+/// Jacobi (diagonal) preconditioner factory.
+[[nodiscard]] Preconditioner jacobi_preconditioner(const sparse::Csr& a);
+
+/// Geometric multigrid for the 2-D Poisson problem on an n x n grid.
+/// The hierarchy coarsens by structured 2x2 cell aggregation with Galerkin
+/// coarse operators (A_c = P^T A P); solve() drives CG preconditioned by
+/// one V-cycle, which is robust at any depth.
+class GeometricMultigrid {
+ public:
+  explicit GeometricMultigrid(std::size_t n, std::size_t levels = 0);
+
+  /// MG-preconditioned CG until tolerance or max_cycles iterations.
+  SolveStats solve(std::span<const double> b, std::span<double> x, double tol = 1e-8,
+                   std::size_t max_cycles = 50) const;
+
+  /// One V-cycle as a preconditioner application: z = M^{-1} r.
+  void apply_vcycle(std::span<const double> r, std::span<double> z) const;
+
+  [[nodiscard]] std::size_t grid_n() const noexcept { return n_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return n_ * n_; }
+  [[nodiscard]] const sparse::Csr& matrix() const noexcept { return a_.front(); }
+  [[nodiscard]] std::size_t levels() const noexcept { return a_.size(); }
+
+ private:
+  void vcycle(std::size_t level, std::span<const double> b, std::span<double> x) const;
+
+  std::size_t n_;
+  std::vector<sparse::Csr> a_;  ///< per-level Galerkin operators
+  std::vector<sparse::Csr> p_; ///< structured 2x2 aggregation prolongations
+};
+
+/// Small algebraic multigrid: greedy aggregation coarsening + damped-Jacobi
+/// smoothing, used as a CG preconditioner (the AMG application and the
+/// AMGX-like original-on-GPU comparator of Table 3).
+class AlgebraicMultigrid {
+ public:
+  explicit AlgebraicMultigrid(const sparse::Csr& a, std::size_t max_levels = 4,
+                              std::size_t min_coarse = 16);
+
+  /// One V-cycle as a preconditioner application: z = M^{-1} r.
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  [[nodiscard]] Preconditioner as_preconditioner() const {
+    return [this](std::span<const double> r, std::span<double> z) { apply(r, z); };
+  }
+
+  [[nodiscard]] std::size_t levels() const noexcept { return a_.size(); }
+
+ private:
+  void vcycle(std::size_t level, std::span<const double> b, std::span<double> x) const;
+
+  std::vector<sparse::Csr> a_;  ///< per-level operators
+  std::vector<sparse::Csr> p_;  ///< prolongation level l+1 -> l
+};
+
+}  // namespace ahn::apps

@@ -1,0 +1,223 @@
+#include "apps/streamcluster_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/flops.hpp"
+
+namespace ahn::apps {
+
+StreamclusterApp::StreamclusterApp(std::size_t points, std::size_t dims, std::size_t k,
+                                   std::size_t lloyd_iters)
+    : n_(points), d_(dims), k_(k), lloyd_iters_(lloyd_iters) {
+  AHN_CHECK(k >= 1 && points >= k && dims >= 2);
+}
+
+void StreamclusterApp::generate_problems(std::size_t count, std::uint64_t seed) {
+  points_.clear();
+  points_.reserve(count);
+  Rng rng(seed);
+  for (std::size_t p = 0; p < count; ++p) {
+    // Mixture of k_ Gaussian blobs with jittered means; cluster structure is
+    // stable across problems so the surrogate has a learnable mapping.
+    std::vector<double> pts(n_ * d_);
+    std::vector<std::vector<double>> means(k_, std::vector<double>(d_));
+    for (std::size_t c = 0; c < k_; ++c) {
+      for (std::size_t j = 0; j < d_; ++j) {
+        // Base mean per cluster on a fixed lattice; jitter per problem.
+        means[c][j] = (c % 2 == 0 ? -2.0 : 2.0) * (j % 2 == 0 ? 1.0 : -1.0) *
+                          (1.0 + static_cast<double>(c)) / 2.0 +
+                      rng.gaussian(0.0, 0.5);
+      }
+    }
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t c = i % k_;
+      for (std::size_t j = 0; j < d_; ++j) {
+        pts[i * d_ + j] = means[c][j] + rng.gaussian(0.0, 0.6);
+      }
+    }
+    points_.push_back(std::move(pts));
+  }
+}
+
+RegionRun StreamclusterApp::run_region(std::size_t i) const {
+  return cluster(i, lloyd_iters_);
+}
+
+RegionRun StreamclusterApp::run_region_perforated(std::size_t i,
+                                                  double keep_fraction) const {
+  AHN_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  const auto iters = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep_fraction * static_cast<double>(lloyd_iters_)));
+  return cluster(i, iters);
+}
+
+RegionRun StreamclusterApp::cluster(std::size_t i, std::size_t lloyd_iters) const {
+  const std::vector<double>& pts = points_.at(i);
+  return timed_region([&] {
+    // 1) Dimension reduction: project to the top-2 principal directions via
+    //    power iteration (the PARSEC kernel's role), then cluster in the
+    //    reduced space while accumulating full-dimension centers.
+    std::vector<double> mean(d_, 0.0);
+    for (std::size_t p = 0; p < n_; ++p) {
+      for (std::size_t j = 0; j < d_; ++j) mean[j] += pts[p * d_ + j];
+    }
+    for (double& m : mean) m /= static_cast<double>(n_);
+
+    auto cov_mult = [&](const std::vector<double>& v) {
+      std::vector<double> out(d_, 0.0);
+      for (std::size_t p = 0; p < n_; ++p) {
+        double dot = 0.0;
+        for (std::size_t j = 0; j < d_; ++j) {
+          dot += (pts[p * d_ + j] - mean[j]) * v[j];
+        }
+        for (std::size_t j = 0; j < d_; ++j) {
+          out[j] += dot * (pts[p * d_ + j] - mean[j]);
+        }
+      }
+      return out;
+    };
+    auto power_iterate = [&](std::vector<double> v, const std::vector<double>* deflate) {
+      for (std::size_t it = 0; it < 25; ++it) {
+        if (deflate != nullptr) {
+          double proj = 0.0;
+          for (std::size_t j = 0; j < d_; ++j) proj += v[j] * (*deflate)[j];
+          for (std::size_t j = 0; j < d_; ++j) v[j] -= proj * (*deflate)[j];
+        }
+        v = cov_mult(v);
+        double norm = 0.0;
+        for (double x : v) norm += x * x;
+        norm = std::sqrt(std::max(norm, 1e-30));
+        for (double& x : v) x /= norm;
+      }
+      return v;
+    };
+    std::vector<double> e1(d_, 0.0), e2(d_, 0.0);
+    e1[0] = 1.0;
+    e2[1] = 1.0;
+    e1 = power_iterate(e1, nullptr);
+    e2 = power_iterate(e2, &e1);
+
+    std::vector<double> proj(n_ * 2);
+    for (std::size_t p = 0; p < n_; ++p) {
+      double a = 0.0, b = 0.0;
+      for (std::size_t j = 0; j < d_; ++j) {
+        a += (pts[p * d_ + j] - mean[j]) * e1[j];
+        b += (pts[p * d_ + j] - mean[j]) * e2[j];
+      }
+      proj[p * 2] = a;
+      proj[p * 2 + 1] = b;
+    }
+
+    // 2) Lloyd iterations in the projected space; deterministic init from
+    //    the first k points.
+    std::vector<double> centers2(k_ * 2);
+    for (std::size_t c = 0; c < k_; ++c) {
+      centers2[c * 2] = proj[c * 2];
+      centers2[c * 2 + 1] = proj[c * 2 + 1];
+    }
+    std::vector<std::size_t> assign(n_, 0);
+    for (std::size_t it = 0; it < lloyd_iters; ++it) {
+      for (std::size_t p = 0; p < n_; ++p) {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k_; ++c) {
+          const double dx = proj[p * 2] - centers2[c * 2];
+          const double dy = proj[p * 2 + 1] - centers2[c * 2 + 1];
+          const double dist = dx * dx + dy * dy;
+          if (dist < best) {
+            best = dist;
+            assign[p] = c;
+          }
+        }
+      }
+      std::vector<double> sum(k_ * 2, 0.0);
+      std::vector<std::size_t> cnt(k_, 0);
+      for (std::size_t p = 0; p < n_; ++p) {
+        sum[assign[p] * 2] += proj[p * 2];
+        sum[assign[p] * 2 + 1] += proj[p * 2 + 1];
+        cnt[assign[p]]++;
+      }
+      for (std::size_t c = 0; c < k_; ++c) {
+        if (cnt[c] > 0) {
+          centers2[c * 2] = sum[c * 2] / static_cast<double>(cnt[c]);
+          centers2[c * 2 + 1] = sum[c * 2 + 1] / static_cast<double>(cnt[c]);
+        }
+      }
+    }
+
+    // 3) Full-dimension centers from the final assignment.
+    std::vector<double> centers(k_ * d_, 0.0);
+    std::vector<std::size_t> cnt(k_, 0);
+    for (std::size_t p = 0; p < n_; ++p) {
+      for (std::size_t j = 0; j < d_; ++j) centers[assign[p] * d_ + j] += pts[p * d_ + j];
+      cnt[assign[p]]++;
+    }
+    for (std::size_t c = 0; c < k_; ++c) {
+      if (cnt[c] > 0) {
+        for (std::size_t j = 0; j < d_; ++j) {
+          centers[c * d_ + j] /= static_cast<double>(cnt[c]);
+        }
+      }
+    }
+
+    OpCounts ops;
+    ops.flops = 4ULL * n_ * d_ * 25 * 2 + 8ULL * n_ * k_ * lloyd_iters;
+    ops.bytes_read = sizeof(double) * n_ * d_ * (25 * 2 + lloyd_iters);
+    FlopCounter::instance().add(ops);
+    return centers;
+  });
+}
+
+double StreamclusterApp::other_part_seconds(std::size_t i) const {
+  // Stream ingestion stand-in: one pass over the points.
+  const std::vector<double>& pts = points_.at(i);
+  const Timer t;
+  double acc = 0.0;
+  for (double v : pts) acc += std::abs(v);
+  volatile double sink = acc;
+  (void)sink;
+  return t.seconds();
+}
+
+double StreamclusterApp::qoi(std::size_t i, std::span<const double> region_outputs) const {
+  (void)i;
+  // Mean center magnitude (distance of centers from the origin).
+  double s = 0.0;
+  for (std::size_t c = 0; c < k_; ++c) {
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < d_; ++j) {
+      d2 += region_outputs[c * d_ + j] * region_outputs[c * d_ + j];
+    }
+    s += std::sqrt(d2);
+  }
+  return s / static_cast<double>(k_);
+}
+
+double StreamclusterApp::qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                                   std::span<const double> surrogate_outputs) const {
+  (void)i;
+  // Permutation-invariant matching: each exact center pairs with its nearest
+  // surrogate center; error is the mean matched distance over center scale.
+  double total = 0.0, scale = 0.0;
+  for (std::size_t c = 0; c < k_; ++c) {
+    double best = std::numeric_limits<double>::infinity();
+    double cnorm = 0.0;
+    for (std::size_t j = 0; j < d_; ++j) {
+      cnorm += exact_outputs[c * d_ + j] * exact_outputs[c * d_ + j];
+    }
+    scale += std::sqrt(cnorm);
+    for (std::size_t s = 0; s < k_; ++s) {
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < d_; ++j) {
+        const double d = exact_outputs[c * d_ + j] - surrogate_outputs[s * d_ + j];
+        d2 += d * d;
+      }
+      best = std::min(best, d2);
+    }
+    total += std::sqrt(best);
+  }
+  return total / std::max(scale, 1e-30);
+}
+
+}  // namespace ahn::apps

@@ -1,0 +1,56 @@
+#pragma once
+// streamcluster application (Type II, Table 2: Dimension_reduction). Online
+// clustering of a point batch: the replaced region projects the points to a
+// lower dimension (the PARSEC kernel this app is named for) and runs
+// k-median-style Lloyd iterations; it returns the cluster centers. The QoI
+// is the cluster-center distance.
+
+#include "apps/application.hpp"
+
+namespace ahn::apps {
+
+class StreamclusterApp final : public Application {
+ public:
+  StreamclusterApp(std::size_t points = 64, std::size_t dims = 8, std::size_t k = 4,
+                   std::size_t lloyd_iters = 60);
+
+  [[nodiscard]] std::string name() const override { return "streamcluster"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeII; }
+  [[nodiscard]] std::string replaced_function() const override {
+    return "Dimension_reduction";
+  }
+  [[nodiscard]] std::string qoi_name() const override {
+    return "Cluster center distance";
+  }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return points_.size(); }
+
+  [[nodiscard]] std::size_t recommended_train_problems() const override {
+    return 800;
+  }
+
+  [[nodiscard]] std::size_t input_dim() const override { return n_ * d_; }
+  [[nodiscard]] std::size_t output_dim() const override { return k_ * d_; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override {
+    return points_.at(i);
+  }
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+  [[nodiscard]] double qoi_error(std::size_t i, std::span<const double> exact_outputs,
+                                 std::span<const double> surrogate_outputs) const override;
+
+ private:
+  [[nodiscard]] RegionRun cluster(std::size_t i, std::size_t lloyd_iters) const;
+
+  std::size_t n_, d_, k_, lloyd_iters_;
+  std::vector<std::vector<double>> points_;
+};
+
+}  // namespace ahn::apps

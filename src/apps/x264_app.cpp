@@ -1,0 +1,200 @@
+#include "apps/x264_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/flops.hpp"
+
+namespace ahn::apps {
+
+namespace {
+
+constexpr std::size_t kDct = 8;
+
+/// 2-D DCT-II / DCT-III on an 8x8 tile (separable, direct evaluation).
+void dct8x8(const double* in, double* out, bool inverse) {
+  auto alpha = [](std::size_t k) {
+    return k == 0 ? 1.0 / std::numbers::sqrt2 : 1.0;
+  };
+  double tmp[kDct * kDct];
+  // Rows.
+  for (std::size_t r = 0; r < kDct; ++r) {
+    for (std::size_t k = 0; k < kDct; ++k) {
+      double s = 0.0;
+      for (std::size_t t = 0; t < kDct; ++t) {
+        const double angle =
+            std::numbers::pi * (static_cast<double>(t) + 0.5) * static_cast<double>(k) /
+            static_cast<double>(kDct);
+        if (!inverse) {
+          s += in[r * kDct + t] * std::cos(angle);
+        } else {
+          const double a2 =
+              std::numbers::pi * (static_cast<double>(k) + 0.5) * static_cast<double>(t) /
+              static_cast<double>(kDct);
+          s += alpha(t) * in[r * kDct + t] * std::cos(a2);
+        }
+      }
+      tmp[r * kDct + k] = (inverse ? s : alpha(k) * s) * std::sqrt(2.0 / kDct);
+    }
+  }
+  // Columns.
+  for (std::size_t c = 0; c < kDct; ++c) {
+    for (std::size_t k = 0; k < kDct; ++k) {
+      double s = 0.0;
+      for (std::size_t t = 0; t < kDct; ++t) {
+        const double angle =
+            std::numbers::pi * (static_cast<double>(t) + 0.5) * static_cast<double>(k) /
+            static_cast<double>(kDct);
+        if (!inverse) {
+          s += tmp[t * kDct + c] * std::cos(angle);
+        } else {
+          const double a2 =
+              std::numbers::pi * (static_cast<double>(k) + 0.5) * static_cast<double>(t) /
+              static_cast<double>(kDct);
+          s += alpha(t) * tmp[t * kDct + c] * std::cos(a2);
+        }
+      }
+      out[k * kDct + c] = (inverse ? s : alpha(k) * s) * std::sqrt(2.0 / kDct);
+    }
+  }
+}
+
+}  // namespace
+
+X264App::X264App(std::size_t block, double qp, std::size_t repeat)
+    : block_(block), qp_(qp), repeat_(repeat) {
+  AHN_CHECK(block % kDct == 0 && block >= kDct);
+  AHN_CHECK(qp > 0.0 && repeat >= 1);
+}
+
+void X264App::generate_problems(std::size_t count, std::uint64_t seed) {
+  blocks_.clear();
+  blocks_.reserve(count);
+  Rng rng(seed);
+  for (std::size_t p = 0; p < count; ++p) {
+    // Synthetic luma content: gradient background + a bright rectangle +
+    // film grain, in [0, 255].
+    std::vector<double> blk(block_ * block_);
+    const double gx = rng.uniform(-4.0, 4.0);
+    const double gy = rng.uniform(-4.0, 4.0);
+    const double base = rng.uniform(60.0, 180.0);
+    const std::size_t rx = rng.uniform_index(block_ / 2);
+    const std::size_t ry = rng.uniform_index(block_ / 2);
+    const std::size_t rw = 2 + rng.uniform_index(block_ / 2);
+    const double bright = rng.uniform(-60.0, 60.0);
+    for (std::size_t r = 0; r < block_; ++r) {
+      for (std::size_t c = 0; c < block_; ++c) {
+        double v = base + gx * static_cast<double>(c) + gy * static_cast<double>(r);
+        if (r >= ry && r < ry + rw && c >= rx && c < rx + rw) v += bright;
+        v += rng.gaussian(0.0, 2.0);
+        blk[r * block_ + c] = std::clamp(v, 0.0, 255.0);
+      }
+    }
+    blocks_.push_back(std::move(blk));
+  }
+}
+
+RegionRun X264App::run_region(std::size_t i) const { return encode(i, 1.0); }
+
+RegionRun X264App::run_region_perforated(std::size_t i, double keep_fraction) const {
+  AHN_CHECK(keep_fraction > 0.0 && keep_fraction <= 1.0);
+  // Perforate the tile loop: skipped tiles copy the source pixels (a
+  // perfect "reconstruction" for them), which keeps SSIM high — the reason
+  // perforation holds up well on x264 (paper Fig. 6).
+  return encode(i, keep_fraction);
+}
+
+RegionRun X264App::encode(std::size_t i, double keep_tile_fraction) const {
+  const std::vector<double>& blk = blocks_.at(i);
+  return timed_region([&] {
+    std::vector<double> recon(blk.size());
+    // The encoder processes many macroblocks per frame; repeat_ models that
+    // per-region workload (identical reconstruction each pass).
+    std::size_t tile_index = 0;
+    std::size_t encoded_tiles = 0;
+    const auto stride = static_cast<std::size_t>(std::round(1.0 / keep_tile_fraction));
+    for (std::size_t rep = 0; rep < repeat_; ++rep) {
+      tile_index = 0;
+      encoded_tiles = 0;
+      for (std::size_t br = 0; br < block_; br += kDct) {
+        for (std::size_t bc = 0; bc < block_; bc += kDct) {
+          if (stride > 1 && (tile_index++ % stride) != 0) {
+            // Skipped tile: forward the source pixels unencoded.
+            for (std::size_t r = 0; r < kDct; ++r) {
+              for (std::size_t c = 0; c < kDct; ++c) {
+                recon[(br + r) * block_ + bc + c] = blk[(br + r) * block_ + bc + c];
+              }
+            }
+            continue;
+          }
+          ++encoded_tiles;
+          double tile[kDct * kDct], coef[kDct * kDct];
+          for (std::size_t r = 0; r < kDct; ++r) {
+            for (std::size_t c = 0; c < kDct; ++c) {
+              tile[r * kDct + c] = blk[(br + r) * block_ + bc + c];
+            }
+          }
+          dct8x8(tile, coef, /*inverse=*/false);
+          // Quantize / dequantize with a flat QP (x264's core lossy step).
+          for (double& v : coef) v = std::round(v / qp_) * qp_;
+          dct8x8(coef, tile, /*inverse=*/true);
+          for (std::size_t r = 0; r < kDct; ++r) {
+            for (std::size_t c = 0; c < kDct; ++c) {
+              recon[(br + r) * block_ + bc + c] = std::clamp(tile[r * kDct + c], 0.0, 255.0);
+            }
+          }
+        }
+      }
+    }
+    OpCounts c;
+    const std::uint64_t tiles = encoded_tiles * repeat_;
+    c.flops = tiles * 2ULL * 4ULL * kDct * kDct * kDct;  // two separable passes x2 dirs
+    c.bytes_read = sizeof(double) * blk.size() * repeat_;
+    c.bytes_written = sizeof(double) * blk.size() * repeat_;
+    FlopCounter::instance().add(c);
+    return recon;
+  });
+}
+
+double X264App::other_part_seconds(std::size_t i) const {
+  // Entropy-coding stand-in: one pass over the block.
+  const std::vector<double>& blk = blocks_.at(i);
+  const Timer t;
+  double acc = 0.0;
+  for (double v : blk) acc += v;
+  volatile double sink = acc;
+  (void)sink;
+  return t.seconds();
+}
+
+double X264App::ssim(std::span<const double> a, std::span<const double> b) {
+  AHN_CHECK(a.size() == b.size() && !a.empty());
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double va = 0.0, vb = 0.0, cov = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    va += (a[i] - ma) * (a[i] - ma);
+    vb += (b[i] - mb) * (b[i] - mb);
+    cov += (a[i] - ma) * (b[i] - mb);
+  }
+  va /= n;
+  vb /= n;
+  cov /= n;
+  constexpr double kC1 = 6.5025;   // (0.01 * 255)^2
+  constexpr double kC2 = 58.5225;  // (0.03 * 255)^2
+  return ((2.0 * ma * mb + kC1) * (2.0 * cov + kC2)) /
+         ((ma * ma + mb * mb + kC1) * (va + vb + kC2));
+}
+
+double X264App::qoi(std::size_t i, std::span<const double> region_outputs) const {
+  return ssim(region_outputs, std::span<const double>(blocks_.at(i)));
+}
+
+}  // namespace ahn::apps

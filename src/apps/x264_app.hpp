@@ -1,0 +1,50 @@
+#pragma once
+// x264 application (Type II, Table 2: X264:Encoding). A 16x16 luma block is
+// encoded with the standard transform pipeline (4x 8x8 DCT -> quantize ->
+// dequantize -> IDCT); the replaced region returns the reconstructed block.
+// The QoI is the structural similarity (SSIM) of the reconstruction against
+// the source block.
+
+#include "apps/application.hpp"
+
+namespace ahn::apps {
+
+class X264App final : public Application {
+ public:
+  explicit X264App(std::size_t block = 16, double qp = 12.0, std::size_t repeat = 3);
+
+  [[nodiscard]] std::string name() const override { return "X264"; }
+  [[nodiscard]] AppType type() const override { return AppType::TypeII; }
+  [[nodiscard]] std::string replaced_function() const override { return "Encoding"; }
+  [[nodiscard]] std::string qoi_name() const override { return "Structure similarity"; }
+
+  void generate_problems(std::size_t count, std::uint64_t seed) override;
+  [[nodiscard]] std::size_t problem_count() const override { return blocks_.size(); }
+
+  [[nodiscard]] std::size_t input_dim() const override { return block_ * block_; }
+  [[nodiscard]] std::size_t output_dim() const override { return block_ * block_; }
+
+  [[nodiscard]] std::vector<double> input_features(std::size_t i) const override {
+    return blocks_.at(i);
+  }
+
+  [[nodiscard]] RegionRun run_region(std::size_t i) const override;
+  [[nodiscard]] RegionRun run_region_perforated(std::size_t i,
+                                                double keep_fraction) const override;
+  [[nodiscard]] double other_part_seconds(std::size_t i) const override;
+  [[nodiscard]] double qoi(std::size_t i,
+                           std::span<const double> region_outputs) const override;
+
+  /// SSIM between two equal-size blocks (global statistics variant).
+  [[nodiscard]] static double ssim(std::span<const double> a, std::span<const double> b);
+
+ private:
+  [[nodiscard]] RegionRun encode(std::size_t i, double keep_tile_fraction) const;
+
+  std::size_t block_;
+  double qp_;
+  std::size_t repeat_;  ///< macroblocks encoded per region call
+  std::vector<std::vector<double>> blocks_;
+};
+
+}  // namespace ahn::apps

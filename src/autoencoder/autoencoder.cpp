@@ -1,0 +1,259 @@
+#include "autoencoder/autoencoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "common/log.hpp"
+#include "nn/optimizer.hpp"
+
+namespace ahn::autoencoder {
+
+double relative_miss_fraction(const Tensor& original, const Tensor& reconstruction,
+                              double mu, double zero_tol) {
+  AHN_CHECK(original.size() == reconstruction.size() && original.size() > 0);
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double x = original[i];
+    const double y = reconstruction[i];
+    const double tol = std::max(mu * std::abs(x), zero_tol);
+    if (std::abs(y - x) > tol) ++misses;
+  }
+  return static_cast<double>(misses) / static_cast<double>(original.size());
+}
+
+Autoencoder::Autoencoder(std::size_t input_dim, AutoencoderConfig config)
+    : input_dim_(input_dim), config_(config) {
+  AHN_CHECK(input_dim >= 1);
+  config_.latent_dim = std::max<std::size_t>(1, std::min(config_.latent_dim, input_dim));
+  std::size_t hidden = config_.hidden_dim;
+  if (hidden == 0) {
+    hidden = static_cast<std::size_t>(std::round(
+        std::sqrt(static_cast<double>(input_dim) *
+                  static_cast<double>(config_.latent_dim))));
+    hidden = std::clamp<std::size_t>(hidden, config_.latent_dim, input_dim);
+    hidden = std::max<std::size_t>(hidden, 4);
+    // Cap the hourglass waist for very wide inputs: reconstruction quality
+    // saturates well before sqrt(in * K) there, and the decoder's
+    // hidden x in weight block dominates offline training cost.
+    hidden = std::min<std::size_t>(hidden, 320);
+  }
+  config_.hidden_dim = hidden;
+
+  scale_.assign(input_dim_, 1.0);
+  Rng rng(config_.seed);
+  // Encoder (hourglass): in -> hidden -> latent.
+  net_.add(std::make_unique<nn::DenseLayer>(input_dim, hidden, rng));
+  net_.add(std::make_unique<nn::ActivationLayer>(nn::Activation::Tanh));
+  net_.add(std::make_unique<nn::DenseLayer>(hidden, config_.latent_dim, rng));
+  encoder_layers_ = net_.layer_count();
+  // Decoder (horn): latent -> hidden -> in.
+  net_.add(std::make_unique<nn::DenseLayer>(config_.latent_dim, hidden, rng));
+  net_.add(std::make_unique<nn::ActivationLayer>(nn::Activation::Tanh));
+  net_.add(std::make_unique<nn::DenseLayer>(hidden, input_dim, rng));
+}
+
+void Autoencoder::fit_scale(const Tensor& data) {
+  scale_.assign(input_dim_, 1.0);
+  for (std::size_t r = 0; r < data.rows(); ++r) {
+    for (std::size_t c = 0; c < input_dim_; ++c) {
+      scale_[c] = std::max(scale_[c], std::abs(data.at(r, c)));
+    }
+  }
+}
+
+void Autoencoder::fit_scale_sparse(const sparse::Csr& data) {
+  scale_.assign(input_dim_, 1.0);
+  const auto& ci = data.col_idx();
+  const auto& v = data.values();
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    scale_[ci[k]] = std::max(scale_[ci[k]], std::abs(v[k]));
+  }
+}
+
+Tensor Autoencoder::apply_scale(const Tensor& x) const {
+  Tensor out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < input_dim_; ++c) out.at(r, c) /= scale_[c];
+  }
+  return out;
+}
+
+sparse::Csr Autoencoder::apply_scale(const sparse::Csr& x) const {
+  sparse::Csr out = x;
+  auto& v = out.mutable_values();
+  const auto& ci = out.col_idx();
+  for (std::size_t k = 0; k < v.size(); ++k) v[k] /= scale_[ci[k]];
+  return out;
+}
+
+Tensor Autoencoder::invert_scale(Tensor x) const {
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < input_dim_; ++c) x.at(r, c) *= scale_[c];
+  }
+  return x;
+}
+
+namespace {
+
+/// Shared training loop. `make_batch` yields (loss for one shuffled batch).
+template <typename TrainBatchFn, typename EvalFn>
+AutoencoderReport run_training(std::size_t samples, const AutoencoderConfig& cfg,
+                               TrainBatchFn&& train_one_epoch, EvalFn&& eval) {
+  AutoencoderReport rep;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rep.final_train_loss = train_one_epoch(epoch);
+    rep.epochs_run = epoch + 1;
+    // Eqn-1 quality probe every few epochs; stop once the bound holds.
+    if ((epoch + 1) % 5 == 0 || epoch + 1 == cfg.epochs) {
+      rep.miss_fraction = eval();
+      if (rep.miss_fraction <= cfg.encoding_loss_bound) {
+        rep.meets_bound = true;
+        AHN_DEBUG("autoencoder met encoding bound at epoch " << epoch + 1
+                                                             << " over " << samples
+                                                             << " samples");
+        return rep;
+      }
+    }
+  }
+  rep.miss_fraction = eval();
+  rep.meets_bound = rep.miss_fraction <= cfg.encoding_loss_bound;
+  return rep;
+}
+
+}  // namespace
+
+AutoencoderReport Autoencoder::train(const Tensor& raw_data) {
+  AHN_CHECK(raw_data.rank() == 2 && raw_data.cols() == input_dim_ && raw_data.rows() >= 1);
+  fit_scale(raw_data);
+  const Tensor data = apply_scale(raw_data);
+  nn::Adam opt(config_.lr);
+  opt.bind(net_.params(), net_.grads());
+  Rng rng(config_.seed ^ 0x5eedULL);
+
+  const std::size_t n = data.rows();
+  const std::size_t bs = std::max<std::size_t>(1, std::min(config_.batch_size, n));
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  auto one_epoch = [&](std::size_t) {
+    rng.shuffle(order);
+    double loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += bs) {
+      const std::size_t end = std::min(start + bs, n);
+      Tensor xb({end - start, input_dim_});
+      for (std::size_t i = start; i < end; ++i) {
+        std::copy(data.row(order[i]).begin(), data.row(order[i]).end(),
+                  xb.row(i - start).begin());
+      }
+      loss += net_.train_batch(xb, xb, nn::LossKind::Mse, opt,
+                               config_.checkpoint_segments);
+      ++batches;
+    }
+    return loss / static_cast<double>(std::max<std::size_t>(1, batches));
+  };
+  auto eval = [&] { return evaluate(raw_data); };
+  return run_training(n, config_, one_epoch, eval);
+}
+
+AutoencoderReport Autoencoder::train_sparse(const sparse::Csr& raw_data) {
+  AHN_CHECK(raw_data.cols() == input_dim_ && raw_data.rows() >= 1);
+  fit_scale_sparse(raw_data);
+  const sparse::Csr data = apply_scale(raw_data);
+  nn::Adam opt(config_.lr);
+  opt.bind(net_.params(), net_.grads());
+
+  // Minibatch over contiguous CSR row slices: inputs stay compressed all
+  // the way into the first layer; reconstruction targets are the dense rows
+  // of each slice only (never the full matrix).
+  const std::size_t n = data.rows();
+  const std::size_t bs = std::max<std::size_t>(1, std::min(config_.batch_size, n));
+  std::vector<sparse::Csr> batches;
+  std::vector<Tensor> targets;
+  for (std::size_t start = 0; start < n; start += bs) {
+    const std::size_t end = std::min(start + bs, n);
+    batches.push_back(data.slice_rows(start, end));
+    targets.push_back(batches.back().to_dense());
+  }
+
+  auto one_epoch = [&](std::size_t) {
+    double loss = 0.0;
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      loss += net_.train_batch_sparse(batches[b], targets[b], nn::LossKind::Mse, opt);
+    }
+    return loss / static_cast<double>(batches.size());
+  };
+  auto eval = [&] { return evaluate_sparse(raw_data); };
+  return run_training(raw_data.rows(), config_, one_epoch, eval);
+}
+
+Tensor Autoencoder::encode(const Tensor& x) const {
+  return net_.predict_range(apply_scale(x), 0, encoder_layers_);
+}
+
+Tensor Autoencoder::encode_sparse(const sparse::Csr& x) const {
+  return net_.predict_sparse_range(apply_scale(x), encoder_layers_);
+}
+
+Tensor Autoencoder::decode(const Tensor& latent) const {
+  return invert_scale(net_.predict_range(latent, encoder_layers_, net_.layer_count()));
+}
+
+Tensor Autoencoder::reconstruct(const Tensor& x) const {
+  return decode(encode(x));
+}
+
+namespace {
+/// Absolute tolerance used by Eqn 1 for (near-)zero entries: a fraction of
+/// the matrix's RMS magnitude, so exact zeros in sparse inputs are judged
+/// at the data's scale rather than against an impossible 0-tolerance.
+double zero_tolerance(const Tensor& x, double mu) {
+  double rms = 0.0;
+  for (double v : x.flat()) rms += v * v;
+  rms = std::sqrt(rms / static_cast<double>(x.size()));
+  return mu * std::max(rms, 1e-12);
+}
+}  // namespace
+
+double Autoencoder::evaluate(const Tensor& x) const {
+  return relative_miss_fraction(x, reconstruct(x), config_.mu, zero_tolerance(x, config_.mu));
+}
+
+double Autoencoder::evaluate_sparse(const sparse::Csr& x) const {
+  const Tensor recon = decode(encode_sparse(x));
+  const Tensor dense = x.to_dense();
+  return relative_miss_fraction(dense, recon, config_.mu,
+                                zero_tolerance(dense, config_.mu));
+}
+
+void Autoencoder::save(std::ostream& os) const {
+  os.precision(17);
+  os << input_dim_ << " " << config_.latent_dim << " " << config_.hidden_dim << "\n";
+  for (double s : scale_) os << s << " ";
+  os << "\n";
+  net_.save_weights(os);
+}
+
+void Autoencoder::load(std::istream& is) {
+  std::size_t in = 0, latent = 0, hidden = 0;
+  is >> in >> latent >> hidden;
+  AHN_CHECK_MSG(in == input_dim_ && latent == config_.latent_dim &&
+                    hidden == config_.hidden_dim,
+                "autoencoder shape mismatch on load");
+  for (double& s : scale_) is >> s;
+  net_.load_weights(is);
+  AHN_CHECK_MSG(static_cast<bool>(is), "truncated autoencoder stream");
+}
+
+OpCounts Autoencoder::encode_cost(std::size_t batch) const {
+  OpCounts c;
+  for (std::size_t i = 0; i < encoder_layers_; ++i) {
+    c += net_.layer(i).inference_cost(batch);
+  }
+  return c;
+}
+
+}  // namespace ahn::autoencoder

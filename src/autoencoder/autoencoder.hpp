@@ -1,0 +1,104 @@
+#pragma once
+// Customized autoencoder for feature reduction (§4). Hourglass encoder +
+// horn-shaped decoder trained jointly; the encoder output is the reduced
+// feature vector fed to the surrogate NAS. Customizations from the paper:
+//
+//  * sparse first layer — CSR inputs are consumed directly through the
+//    sparse matmul path (the "TensorFlow embedding API" equivalent), so no
+//    unroll to dense happens at training or online encoding time;
+//  * gradient-checkpointed offline training (§4.2's GPU-memory workaround);
+//  * an error-bounded, element-wise reconstruction quality metric (Eqn 1)
+//    computed on the fly, with a user-configured lower bound that gates the
+//    encoding ("encodingLoss" knob of Table 1).
+
+#include <iosfwd>
+#include <optional>
+
+#include "nn/network.hpp"
+#include "nn/train.hpp"
+#include "sparse/formats.hpp"
+
+namespace ahn::autoencoder {
+
+/// Eqn 1: fraction of elements whose reconstruction differs from the
+/// original by more than mu * |x_i| (with an absolute epsilon for exact
+/// zeros, which sparse inputs are full of).
+[[nodiscard]] double relative_miss_fraction(const Tensor& original,
+                                            const Tensor& reconstruction, double mu,
+                                            double zero_tol = 1e-6);
+
+struct AutoencoderConfig {
+  std::size_t latent_dim = 16;        ///< reduced feature count (set by outer BO)
+  std::size_t hidden_dim = 0;         ///< 0 = geometric mean of in/latent
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  double lr = 1e-3;
+  double mu = 0.1;                    ///< Eqn 1 scaling factor
+  double encoding_loss_bound = 0.2;   ///< acceptable miss fraction (Table 1)
+  std::size_t checkpoint_segments = 4;///< gradient checkpointing granularity
+  std::uint64_t seed = 7;
+};
+
+struct AutoencoderReport {
+  double final_train_loss = 0.0;
+  double miss_fraction = 0.0;  ///< Eqn 1 on the training matrix
+  bool meets_bound = false;
+  std::size_t epochs_run = 0;
+};
+
+class Autoencoder {
+ public:
+  /// Builds the hourglass for `input_dim` features.
+  Autoencoder(std::size_t input_dim, AutoencoderConfig config);
+
+  /// Offline training on dense rows (samples x input_dim). Uses gradient
+  /// checkpointing when config.checkpoint_segments > 1. Stops early once
+  /// the Eqn-1 bound is met.
+  AutoencoderReport train(const Tensor& data);
+
+  /// Offline training consuming CSR rows directly (sparse path).
+  AutoencoderReport train_sparse(const sparse::Csr& data);
+
+  /// Online feature reduction.
+  [[nodiscard]] Tensor encode(const Tensor& x) const;
+  [[nodiscard]] Tensor encode_sparse(const sparse::Csr& x) const;
+
+  /// Reconstruction (decoder only / round trip).
+  [[nodiscard]] Tensor decode(const Tensor& latent) const;
+  [[nodiscard]] Tensor reconstruct(const Tensor& x) const;
+
+  /// The paper's "Autoencoder.evl" quality probe: Eqn-1 miss fraction of a
+  /// round trip over `x` at the configured mu.
+  [[nodiscard]] double evaluate(const Tensor& x) const;
+  [[nodiscard]] double evaluate_sparse(const sparse::Csr& x) const;
+
+  [[nodiscard]] std::size_t input_dim() const noexcept { return input_dim_; }
+  [[nodiscard]] std::size_t latent_dim() const noexcept { return config_.latent_dim; }
+  [[nodiscard]] const AutoencoderConfig& config() const noexcept { return config_; }
+
+  /// Analytic cost of encoding a batch (for the online-time model).
+  [[nodiscard]] OpCounts encode_cost(std::size_t batch) const;
+
+  /// Serialization (§6.1: "save and share the Autoencoder ... across
+  /// applications"): weights + per-feature scale. The loader must be
+  /// constructed with the identical (input_dim, config) shape.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  /// Fits the per-feature scale (max-abs, no centering so sparsity is
+  /// preserved) used to condition the nonlinearities on raw HPC features.
+  void fit_scale(const Tensor& data);
+  void fit_scale_sparse(const sparse::Csr& data);
+  [[nodiscard]] Tensor apply_scale(const Tensor& x) const;
+  [[nodiscard]] sparse::Csr apply_scale(const sparse::Csr& x) const;
+  [[nodiscard]] Tensor invert_scale(Tensor x) const;
+
+  std::size_t input_dim_;
+  AutoencoderConfig config_;
+  nn::Network net_;               ///< encoder layers then decoder layers
+  std::size_t encoder_layers_;    ///< split point inside net_
+  std::vector<double> scale_;     ///< per-feature max-abs (1 when unfitted)
+};
+
+}  // namespace ahn::autoencoder

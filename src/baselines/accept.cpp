@@ -1,0 +1,48 @@
+#include "baselines/accept.hpp"
+
+#include "common/error.hpp"
+
+namespace ahn::baselines {
+
+std::optional<nn::TopologySpec> accept_topology(const std::string& app_name) {
+  // ACCEPT's published NPU-style topologies are small fixed MLPs per
+  // benchmark; these mirror that: one hidden layer sized by the benchmark.
+  nn::TopologySpec s;
+  s.kind = nn::ModelKind::Mlp;
+  s.num_layers = 1;
+  s.act = nn::Activation::Sigmoid;
+  if (app_name == "Blackscholes") {
+    s.hidden_units = 16;
+    return s;
+  }
+  if (app_name == "Canneal") {
+    s.hidden_units = 8;
+    return s;
+  }
+  if (app_name == "fluidanimate") {
+    s.hidden_units = 32;
+    return s;
+  }
+  if (app_name == "streamcluster") {
+    s.hidden_units = 16;
+    return s;
+  }
+  if (app_name == "X264") {
+    s.hidden_units = 32;
+    return s;
+  }
+  return std::nullopt;  // Type-I / Type-III apps: ACCEPT has no topology
+}
+
+nas::PipelineModel train_accept_model(const nas::SearchTask& task,
+                                      const std::string& app_name) {
+  const std::optional<nn::TopologySpec> spec = accept_topology(app_name);
+  AHN_CHECK_MSG(spec.has_value(),
+                "ACCEPT defines no topology for app '" << app_name << "'");
+  Rng rng(task.seed ^ 0xacce97ULL);
+  // One fixed candidate on the full input; quality_error / cost are filled
+  // for reporting but never fed back into any search (ACCEPT's limitation).
+  return nas::evaluate_candidate(task, *spec, nullptr, task.data, rng);
+}
+
+}  // namespace ahn::baselines

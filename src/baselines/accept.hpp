@@ -1,0 +1,25 @@
+#pragma once
+// ACCEPT baseline (§7.2 comparator (1)): NN-based approximation with a
+// user-specified, fixed NN topology and no quality-aware search. The paper
+// applies ACCEPT only to the Type-II (PARSEC) applications because ACCEPT
+// ships model topologies for those; this module encodes the same per-app
+// fixed topologies and trains them on the full (non-reduced) input.
+
+#include <optional>
+#include <string>
+
+#include "nas/search_task.hpp"
+
+namespace ahn::baselines {
+
+/// The fixed topology ACCEPT would use for a Type-II app; nullopt for apps
+/// ACCEPT does not cover (Type I and Type III).
+[[nodiscard]] std::optional<nn::TopologySpec> accept_topology(const std::string& app_name);
+
+/// Trains the ACCEPT model for the app. Requires accept_topology(app) to be
+/// defined; throws otherwise. No feature reduction, no search: exactly one
+/// candidate is trained.
+[[nodiscard]] nas::PipelineModel train_accept_model(const nas::SearchTask& task,
+                                                    const std::string& app_name);
+
+}  // namespace ahn::baselines

@@ -1,0 +1,70 @@
+#include "baselines/perforation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ahn::baselines {
+
+namespace {
+
+struct Measurement {
+  double hit_rate = 0.0;
+  double exact_seconds = 0.0;
+  double perforated_seconds = 0.0;
+  double mean_error = 0.0;
+};
+
+Measurement measure(const apps::Application& app, std::span<const std::size_t> problems,
+                    double keep, double mu) {
+  Measurement m;
+  std::size_t hits = 0;
+  for (std::size_t p : problems) {
+    const apps::RegionRun exact = app.run_region(p);
+    const apps::RegionRun perf = app.run_region_perforated(p, keep);
+    const double other = app.other_part_seconds(p);
+    const double err = app.qoi_error(p, exact.outputs, perf.outputs);
+    if (err <= mu) ++hits;
+    m.mean_error += err;
+    m.exact_seconds += exact.region_seconds + other;
+    m.perforated_seconds += perf.region_seconds + other;
+  }
+  m.hit_rate = static_cast<double>(hits) / static_cast<double>(problems.size());
+  m.mean_error /= static_cast<double>(problems.size());
+  return m;
+}
+
+}  // namespace
+
+PerforationResult tune_and_evaluate(const apps::Application& app,
+                                    std::span<const std::size_t> calibration,
+                                    std::span<const std::size_t> evaluation,
+                                    const PerforationOptions& opts) {
+  AHN_CHECK(!calibration.empty() && !evaluation.empty());
+  AHN_CHECK(!opts.candidate_keeps.empty());
+
+  // Calibration: the most aggressive keep fraction that still meets the
+  // required hit rate (HPAC's skip-frequency decision).
+  double chosen = 1.0;
+  double chosen_speedup = 1.0;
+  for (double keep : opts.candidate_keeps) {
+    const Measurement m = measure(app, calibration, keep, opts.mu);
+    if (m.hit_rate >= opts.required_hit_rate) {
+      const double sp = m.exact_seconds / std::max(m.perforated_seconds, 1e-12);
+      if (sp > chosen_speedup) {
+        chosen_speedup = sp;
+        chosen = keep;
+      }
+    }
+  }
+
+  const Measurement eval = measure(app, evaluation, chosen, opts.mu);
+  PerforationResult res;
+  res.keep_fraction = chosen;
+  res.speedup = eval.exact_seconds / std::max(eval.perforated_seconds, 1e-12);
+  res.hit_rate = eval.hit_rate;
+  res.mean_qoi_error = eval.mean_error;
+  return res;
+}
+
+}  // namespace ahn::baselines

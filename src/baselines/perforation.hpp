@@ -1,0 +1,34 @@
+#pragma once
+// Loop-perforation baseline (HPAC-style, §7.2 comparator (2)). HPAC's role
+// in the paper is to decide how frequently loop iterations can be skipped
+// without significant quality degradation; this tuner does the same: it
+// calibrates the keep-fraction on a calibration problem set, then evaluates
+// speedup and hit rate on held-out problems.
+
+#include <span>
+#include <vector>
+
+#include "apps/application.hpp"
+
+namespace ahn::baselines {
+
+struct PerforationOptions {
+  std::vector<double> candidate_keeps{1.0, 0.75, 0.5, 0.25, 0.1};
+  double mu = 0.1;                 ///< QoI acceptance bound (Eqn 3)
+  double required_hit_rate = 0.9;  ///< calibration gate for a keep fraction
+};
+
+struct PerforationResult {
+  double keep_fraction = 1.0;  ///< chosen by calibration
+  double speedup = 1.0;        ///< Eqn-2 style whole-app speedup
+  double hit_rate = 1.0;       ///< Eqn 3 on evaluation problems
+  double mean_qoi_error = 0.0;
+};
+
+/// Calibrates the keep fraction on `calibration` problems, then evaluates on
+/// `evaluation` problems.
+[[nodiscard]] PerforationResult tune_and_evaluate(
+    const apps::Application& app, std::span<const std::size_t> calibration,
+    std::span<const std::size_t> evaluation, const PerforationOptions& opts = {});
+
+}  // namespace ahn::baselines

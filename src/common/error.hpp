@@ -1,0 +1,46 @@
+#pragma once
+// Error handling: checked invariants throw ahn::Error with a formatted
+// message. Hot loops use AHN_DCHECK which compiles out in release builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ahn {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* cond, const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ahn
+
+#define AHN_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) ::ahn::detail::fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AHN_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::ahn::detail::fail(#cond, __FILE__, __LINE__, os_.str());          \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define AHN_DCHECK(cond) ((void)0)
+#else
+#define AHN_DCHECK(cond) AHN_CHECK(cond)
+#endif

@@ -1,0 +1,66 @@
+#pragma once
+// Minimal leveled logger. Benches and the pipeline narrate progress at Info;
+// tests run quiet by default (level set via AHN_LOG_LEVEL env or set_level).
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ahn {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off = 4 };
+
+class Log {
+ public:
+  static LogLevel& level() noexcept {
+    static LogLevel lvl = init_level();
+    return lvl;
+  }
+
+  static void set_level(LogLevel lvl) noexcept { level() = lvl; }
+
+  static void write(LogLevel lvl, const std::string& msg) {
+    if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+    static std::mutex mu;
+    const std::lock_guard<std::mutex> lock(mu);
+    std::cerr << "[" << name(lvl) << "] " << msg << "\n";
+  }
+
+ private:
+  static LogLevel init_level() noexcept {
+    if (const char* env = std::getenv("AHN_LOG_LEVEL")) {
+      const std::string s(env);
+      if (s == "debug") return LogLevel::Debug;
+      if (s == "info") return LogLevel::Info;
+      if (s == "warn") return LogLevel::Warn;
+      if (s == "error") return LogLevel::ErrorLevel;
+      if (s == "off") return LogLevel::Off;
+    }
+    return LogLevel::Warn;
+  }
+
+  static const char* name(LogLevel lvl) noexcept {
+    switch (lvl) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info: return "info";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::ErrorLevel: return "error";
+      default: return "?";
+    }
+  }
+};
+
+#define AHN_LOG(lvl, expr)                                   \
+  do {                                                       \
+    std::ostringstream os_;                                  \
+    os_ << expr;                                             \
+    ::ahn::Log::write(lvl, os_.str());                       \
+  } while (0)
+
+#define AHN_INFO(expr) AHN_LOG(::ahn::LogLevel::Info, expr)
+#define AHN_DEBUG(expr) AHN_LOG(::ahn::LogLevel::Debug, expr)
+#define AHN_WARN(expr) AHN_LOG(::ahn::LogLevel::Warn, expr)
+
+}  // namespace ahn

@@ -1,0 +1,69 @@
+#pragma once
+// Small statistics helpers used throughout evaluation: the paper reports a
+// harmonic-mean speedup (section 7.1), hit rates, and percentiles.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ahn {
+
+[[nodiscard]] inline double mean(std::span<const double> v) {
+  AHN_CHECK(!v.empty());
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Harmonic mean; the paper's headline "5.50x average speedup" is a harmonic
+/// mean across applications. All entries must be positive.
+[[nodiscard]] inline double harmonic_mean(std::span<const double> v) {
+  AHN_CHECK(!v.empty());
+  double s = 0.0;
+  for (double x : v) {
+    AHN_CHECK_MSG(x > 0.0, "harmonic mean requires positive values");
+    s += 1.0 / x;
+  }
+  return static_cast<double>(v.size()) / s;
+}
+
+[[nodiscard]] inline double variance(std::span<const double> v) {
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+[[nodiscard]] inline double stddev(std::span<const double> v) {
+  return std::sqrt(variance(v));
+}
+
+/// Linear-interpolated percentile, p in [0, 100].
+[[nodiscard]] inline double percentile(std::vector<double> v, double p) {
+  AHN_CHECK(!v.empty());
+  AHN_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+[[nodiscard]] inline double median(std::vector<double> v) {
+  return percentile(std::move(v), 50.0);
+}
+
+/// Relative error |a - b| / |b|, with the convention that b == 0 compares
+/// absolutely. Used by QoI acceptance checks (Eqn 3).
+[[nodiscard]] inline double relative_error(double a, double b) noexcept {
+  const double diff = std::abs(a - b);
+  const double denom = std::abs(b);
+  return denom > 0.0 ? diff / denom : diff;
+}
+
+}  // namespace ahn

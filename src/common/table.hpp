@@ -1,0 +1,29 @@
+#pragma once
+// ASCII table rendering. Every bench prints the paper's tables/figures as
+// aligned text tables through this helper so the harness output is directly
+// comparable with the paper's rows and series.
+
+#include <string>
+#include <vector>
+
+namespace ahn {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Renders the table with column alignment and a header separator.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ahn

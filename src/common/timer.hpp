@@ -1,0 +1,93 @@
+#pragma once
+// Wall-clock timing utilities. All framework phase accounting (offline trace
+// generation, BO search, autoencoder training; online fetch/encode/load/run)
+// is measured through these.
+
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ahn {
+
+/// Monotonic stopwatch. start() on construction; seconds() reads elapsed.
+class Timer {
+ public:
+  Timer() noexcept : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept { return seconds() * 1e3; }
+  [[nodiscard]] double microseconds() const noexcept { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations; used for the paper's overhead analysis
+/// (section 7.3) where online time is split into fetch / encode / load / run.
+class PhaseAccumulator {
+ public:
+  void add(const std::string& phase, double seconds) {
+    auto [it, inserted] = index_.try_emplace(phase, entries_.size());
+    if (inserted) entries_.push_back({phase, 0.0, 0});
+    entries_[it->second].seconds += seconds;
+    entries_[it->second].count += 1;
+  }
+
+  [[nodiscard]] double total() const noexcept {
+    double t = 0.0;
+    for (const auto& e : entries_) t += e.seconds;
+    return t;
+  }
+
+  [[nodiscard]] double seconds(const std::string& phase) const {
+    auto it = index_.find(phase);
+    return it == index_.end() ? 0.0 : entries_[it->second].seconds;
+  }
+
+  /// Fraction of the accumulated total spent in `phase` (0 if nothing timed).
+  [[nodiscard]] double fraction(const std::string& phase) const {
+    const double t = total();
+    return t > 0.0 ? seconds(phase) / t : 0.0;
+  }
+
+  struct Entry {
+    std::string phase;
+    double seconds = 0.0;
+    std::size_t count = 0;
+  };
+
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  void clear() noexcept {
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+/// RAII helper: adds the scope's duration to an accumulator on destruction.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseAccumulator& acc, std::string phase)
+      : acc_(acc), phase_(std::move(phase)) {}
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+  ~ScopedPhase() { acc_.add(phase_, timer_.seconds()); }
+
+ private:
+  PhaseAccumulator& acc_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace ahn

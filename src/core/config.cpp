@@ -1,0 +1,131 @@
+#include "core/config.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+
+namespace ahn::core {
+
+namespace {
+
+std::pair<std::string, std::string> split_assignment(const std::string& s) {
+  const std::size_t eq = s.find('=');
+  AHN_CHECK_MSG(eq != std::string::npos && eq > 0 && eq + 1 < s.size(),
+                "expected key=value, got '" << s << "'");
+  return {s.substr(0, eq), s.substr(eq + 1)};
+}
+
+std::size_t to_size(const std::string& v) {
+  std::size_t out = 0;
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  AHN_CHECK_MSG(ec == std::errc{} && ptr == v.data() + v.size(),
+                "bad integer '" << v << "'");
+  return out;
+}
+
+double to_double(const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(v, &pos);
+    AHN_CHECK_MSG(pos == v.size(), "bad number '" << v << "'");
+    return out;
+  } catch (const std::exception&) {
+    throw Error("bad number '" + v + "'");
+  }
+}
+
+}  // namespace
+
+void Config::apply(const std::string& assignment) {
+  const auto [key, value] = split_assignment(assignment);
+  if (key == "searchType") {
+    if (value == "autokeras") {
+      search_type = nas::SearchType::Autokeras;
+    } else if (value == "userModel") {
+      search_type = nas::SearchType::UserModel;
+    } else if (value == "fullInput") {
+      search_type = nas::SearchType::FullInput;
+    } else {
+      throw Error("unknown searchType '" + value + "'");
+    }
+  } else if (key == "bayesianInit") {
+    bayesian_init = to_size(value);
+  } else if (key == "encodingLoss") {
+    encoding_loss = to_double(value);
+  } else if (key == "qualityLoss") {
+    quality_loss = to_double(value);
+  } else if (key == "outerIterations") {
+    outer_iterations = to_size(value);
+  } else if (key == "innerIterations") {
+    inner_iterations = to_size(value);
+  } else if (key == "kMin") {
+    k_min = to_size(value);
+  } else if (key == "kMax") {
+    k_max = to_size(value);
+  } else if (key == "aeEpochs") {
+    ae_epochs = to_size(value);
+  } else if (key == "initModel") {
+    if (value == "MLP" || value == "mlp") {
+      init_model = nn::ModelKind::Mlp;
+    } else if (value == "CNN" || value == "cnn") {
+      init_model = nn::ModelKind::Cnn;
+    } else {
+      throw Error("unknown initModel '" + value + "'");
+    }
+  } else if (key == "preprocessing") {
+    preprocessing = value == "1" || value == "true" || value == "on";
+  } else if (key == "numEpoch") {
+    num_epoch = to_size(value);
+  } else if (key == "retrainEpochs") {
+    retrain_epochs = to_size(value);
+  } else if (key == "trainRatio") {
+    train_ratio = to_double(value);
+  } else if (key == "batchSize") {
+    batch_size = to_size(value);
+  } else if (key == "lr") {
+    lr = to_double(value);
+  } else if (key == "trainProblems") {
+    train_problems = to_size(value);
+  } else if (key == "validProblems") {
+    valid_problems = to_size(value);
+  } else if (key == "evalProblems") {
+    eval_problems = to_size(value);
+  } else if (key == "mu") {
+    mu = to_double(value);
+  } else if (key == "seed") {
+    seed = to_size(value);
+  } else {
+    throw Error("unknown config key '" + key + "'");
+  }
+}
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) cfg.apply(argv[i]);
+  return cfg;
+}
+
+nas::NasOptions Config::nas_options() const {
+  nas::NasOptions opts;
+  opts.search_type = search_type;
+  opts.bayesian_init = bayesian_init;
+  opts.outer_iterations = outer_iterations;
+  opts.inner_iterations = inner_iterations;
+  opts.k_min = k_min;
+  opts.k_max = k_max;
+  opts.ae_epochs = ae_epochs;
+  return opts;
+}
+
+nn::TrainOptions Config::train_options() const {
+  nn::TrainOptions opts;
+  opts.epochs = num_epoch;
+  opts.batch_size = batch_size;
+  opts.lr = lr;
+  opts.train_ratio = train_ratio;
+  opts.standardize = preprocessing;
+  opts.seed = seed ^ 0x7ea1ULL;
+  return opts;
+}
+
+}  // namespace ahn::core

@@ -1,0 +1,59 @@
+#include "core/evaluation.hpp"
+
+#include <algorithm>
+
+namespace ahn::core {
+
+AppEvaluation evaluate_pipeline(const apps::Application& app,
+                                std::span<const std::size_t> problems,
+                                const nas::PipelineModel& model,
+                                const runtime::DeviceModel& device,
+                                const EvalOptions& opts) {
+  AHN_CHECK(!problems.empty());
+  const runtime::DeployedSurrogate deployed(model.encoder, model.surrogate, device);
+
+  // When the app's natural input is sparse, ship the CSR batch (the sparse
+  // fast path: smaller fetch payload, no densification).
+  sparse::Csr sparse_batch;
+  if (app.has_sparse_input()) sparse_batch = app.sparse_input_batch(problems);
+
+  AppEvaluation ev;
+  std::size_t hits = 0;
+  for (std::size_t idx = 0; idx < problems.size(); ++idx) {
+    const std::size_t p = problems[idx];
+    const apps::RegionRun exact = app.run_region(p);
+    const double other = app.other_part_seconds(p);
+
+    runtime::InferenceResult inf;
+    if (app.has_sparse_input()) {
+      inf = deployed.infer_sparse(sparse_batch, idx);
+    } else {
+      inf = deployed.infer(app.input_features(p));
+    }
+
+    const double err = app.qoi_error(p, exact.outputs, inf.outputs);
+    const bool hit = err <= opts.mu;
+    if (hit) ++hits;
+    ev.mean_qoi_error += err;
+
+    ev.exact_seconds += exact.region_seconds + other;
+    double surr = inf.timing.total() + other;
+    if (!hit && opts.fallback_on_miss) {
+      // §7.1: the application restarts and runs the original code region.
+      surr += exact.region_seconds;
+    }
+    ev.surrogate_seconds += surr;
+
+    ev.breakdown.fetch += inf.timing.fetch_seconds;
+    ev.breakdown.encode += inf.timing.encode_seconds;
+    ev.breakdown.load += inf.timing.load_seconds;
+    ev.breakdown.run += inf.timing.run_seconds;
+  }
+
+  ev.hit_rate = static_cast<double>(hits) / static_cast<double>(problems.size());
+  ev.mean_qoi_error /= static_cast<double>(problems.size());
+  ev.speedup = ev.exact_seconds / std::max(ev.surrogate_seconds, 1e-12);
+  return ev;
+}
+
+}  // namespace ahn::core

@@ -1,0 +1,127 @@
+#include "gp/bayesopt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+namespace ahn::gp {
+
+double normal_cdf(double z) noexcept {
+  return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+BayesianOptimizer::BayesianOptimizer(BoOptions opts, Rng rng)
+    : opts_(opts), rng_(rng) {
+  AHN_CHECK(opts_.dim >= 1);
+  AHN_CHECK(opts_.init_samples >= 1);
+  objective_gp_ = GaussianProcess(KernelParams{.kind = opts_.kernel});
+  constraint_gp_ = GaussianProcess(KernelParams{.kind = opts_.kernel});
+}
+
+std::vector<double> BayesianOptimizer::propose() {
+  if (history_.size() < opts_.init_samples || !models_ready_) {
+    std::vector<double> x(opts_.dim);
+    for (auto& v : x) v = rng_.uniform();
+    return x;
+  }
+
+  // Candidate pool: uniform samples plus jittered copies of the incumbent
+  // (local exploitation), scored by constrained EI.
+  std::vector<std::vector<double>> candidates;
+  candidates.reserve(opts_.candidates);
+  for (std::size_t i = 0; i < opts_.candidates; ++i) {
+    std::vector<double> x(opts_.dim);
+    for (auto& v : x) v = rng_.uniform();
+    candidates.push_back(std::move(x));
+  }
+  if (const auto best = best_feasible()) {
+    for (std::size_t i = 0; i < opts_.candidates / 4; ++i) {
+      std::vector<double> x = best->x;
+      for (auto& v : x) v = std::clamp(v + rng_.gaussian(0.0, 0.1), 0.0, 1.0);
+      candidates.push_back(std::move(x));
+    }
+  }
+
+  double best_acq = -std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double a = acquisition(candidates[i]);
+    if (a > best_acq) {
+      best_acq = a;
+      best_idx = i;
+    }
+  }
+  return candidates[best_idx];
+}
+
+void BayesianOptimizer::observe(BoObservation obs) {
+  AHN_CHECK(obs.x.size() == opts_.dim);
+  history_.push_back(std::move(obs));
+  if (history_.size() >= opts_.init_samples) refit();
+}
+
+void BayesianOptimizer::refit() {
+  std::vector<std::vector<double>> xs;
+  std::vector<double> fo, fc;
+  xs.reserve(history_.size());
+  for (const auto& h : history_) {
+    xs.push_back(h.x);
+    fo.push_back(h.objective);
+    fc.push_back(h.constraint);
+  }
+  objective_gp_.fit(xs, fo);
+  constraint_gp_.fit(std::move(xs), std::move(fc));
+  models_ready_ = true;
+}
+
+std::optional<BoObservation> BayesianOptimizer::best_feasible() const {
+  const BoObservation* best = nullptr;
+  for (const auto& h : history_) {
+    if (h.constraint <= opts_.constraint_threshold &&
+        (best == nullptr || h.objective < best->objective)) {
+      best = &h;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+double BayesianOptimizer::acquisition(std::span<const double> x) const {
+  if (!models_ready_) return 0.0;
+
+  const auto pred = objective_gp_.predict(x);
+  const double sigma = std::sqrt(pred.variance);
+
+  // Incumbent: best feasible objective, or best objective overall when
+  // nothing is feasible yet (then feasibility probability dominates).
+  double f_best;
+  if (const auto best = best_feasible()) {
+    f_best = best->objective;
+  } else {
+    f_best = std::numeric_limits<double>::infinity();
+    for (const auto& h : history_) f_best = std::min(f_best, h.objective);
+  }
+
+  double ei;
+  if (sigma < 1e-12) {
+    ei = std::max(0.0, f_best - pred.mean - opts_.exploration);
+  } else {
+    const double z = (f_best - pred.mean - opts_.exploration) / sigma;
+    const double pdf = std::exp(-0.5 * z * z) / std::sqrt(2.0 * std::numbers::pi);
+    ei = (f_best - pred.mean - opts_.exploration) * normal_cdf(z) + sigma * pdf;
+    ei = std::max(ei, 0.0);
+  }
+
+  // Probability the constraint GP predicts f_e <= threshold at x.
+  const auto cpred = constraint_gp_.predict(x);
+  const double csigma = std::sqrt(cpred.variance);
+  const double pf =
+      csigma < 1e-12
+          ? (cpred.mean <= opts_.constraint_threshold ? 1.0 : 0.0)
+          : normal_cdf((opts_.constraint_threshold - cpred.mean) / csigma);
+
+  return ei * pf;
+}
+
+}  // namespace ahn::gp

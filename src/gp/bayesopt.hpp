@@ -1,0 +1,70 @@
+#pragma once
+// Constrained Bayesian optimization over [0,1]^d — the update / generation /
+// evaluation loop of §5.2. Minimizes an objective (the paper's cost f_c)
+// subject to a black-box constraint (quality degradation f_e <= epsilon),
+// using Expected Improvement weighted by the GP probability of feasibility.
+
+#include <functional>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "gp/gaussian_process.hpp"
+
+namespace ahn::gp {
+
+struct BoObservation {
+  std::vector<double> x;
+  double objective = 0.0;   ///< f_c — minimized
+  double constraint = 0.0;  ///< f_e — must be <= threshold to be feasible
+};
+
+struct BoOptions {
+  std::size_t dim = 2;
+  double constraint_threshold = 0.1;  ///< epsilon on f_e
+  std::size_t init_samples = 4;       ///< random designs before GP proposals
+  std::size_t candidates = 256;       ///< acquisition candidates per proposal
+  double exploration = 0.01;          ///< EI xi (exploration bonus)
+  KernelKind kernel = KernelKind::Matern52;
+};
+
+/// Ask/tell interface: propose() yields the next x to evaluate; report the
+/// measured (objective, constraint) via observe(). best_feasible() tracks
+/// the incumbent.
+class BayesianOptimizer {
+ public:
+  BayesianOptimizer(BoOptions opts, Rng rng);
+
+  /// Next point to evaluate. The first `init_samples` calls are random
+  /// (Table 1 "bayesianInit"); afterwards, constrained-EI maximization over
+  /// random candidates plus local perturbations of the incumbent.
+  [[nodiscard]] std::vector<double> propose();
+
+  void observe(BoObservation obs);
+
+  [[nodiscard]] const std::vector<BoObservation>& history() const noexcept {
+    return history_;
+  }
+
+  [[nodiscard]] std::optional<BoObservation> best_feasible() const;
+
+  /// Expected-improvement acquisition at x given the current models; exposed
+  /// for tests. Returns 0 before any GP can be fitted.
+  [[nodiscard]] double acquisition(std::span<const double> x) const;
+
+  [[nodiscard]] const BoOptions& options() const noexcept { return opts_; }
+
+ private:
+  void refit();
+
+  BoOptions opts_;
+  Rng rng_;
+  std::vector<BoObservation> history_;
+  GaussianProcess objective_gp_;
+  GaussianProcess constraint_gp_;
+  bool models_ready_ = false;
+};
+
+/// Normal CDF (used by probability-of-feasibility weighting).
+[[nodiscard]] double normal_cdf(double z) noexcept;
+
+}  // namespace ahn::gp

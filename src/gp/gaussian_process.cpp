@@ -1,0 +1,152 @@
+#include "gp/gaussian_process.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "gp/linalg.hpp"
+
+namespace ahn::gp {
+
+double kernel_value(const KernelParams& p, double r) noexcept {
+  const double s = r / p.length_scale;
+  switch (p.kind) {
+    case KernelKind::Rbf:
+      return p.amplitude * std::exp(-0.5 * s * s);
+    case KernelKind::Matern52: {
+      const double t = std::sqrt(5.0) * s;
+      return p.amplitude * (1.0 + t + t * t / 3.0) * std::exp(-t);
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+double distance(std::span<const double> a, std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+}  // namespace
+
+void GaussianProcess::fit(std::vector<std::vector<double>> x, std::vector<double> y,
+                          bool tune) {
+  AHN_CHECK(x.size() == y.size() && !x.empty());
+  const std::size_t d = x.front().size();
+  for (const auto& xi : x) AHN_CHECK_MSG(xi.size() == d, "ragged GP inputs");
+
+  x_ = std::move(x);
+  y_raw_ = std::move(y);
+
+  // Standardize targets.
+  y_mean_ = 0.0;
+  for (double v : y_raw_) y_mean_ += v;
+  y_mean_ /= static_cast<double>(y_raw_.size());
+  double var = 0.0;
+  for (double v : y_raw_) var += (v - y_mean_) * (v - y_mean_);
+  y_std_ = std::sqrt(var / static_cast<double>(y_raw_.size()));
+  if (y_std_ < 1e-12) y_std_ = 1.0;
+  y_.resize(y_raw_.size());
+  for (std::size_t i = 0; i < y_raw_.size(); ++i) y_[i] = (y_raw_[i] - y_mean_) / y_std_;
+
+  if (tune && x_.size() >= 4) {
+    static constexpr double kLengthGrid[] = {0.1, 0.2, 0.35, 0.6, 1.0};
+    static constexpr double kNoiseGrid[] = {1e-6, 1e-4, 1e-2};
+    double best = -std::numeric_limits<double>::infinity();
+    KernelParams best_p = params_;
+    for (double ls : kLengthGrid) {
+      for (double nz : kNoiseGrid) {
+        KernelParams p = params_;
+        p.length_scale = ls;
+        p.noise = nz;
+        const double lml = lml_for(p);
+        if (lml > best) {
+          best = lml;
+          best_p = p;
+        }
+      }
+    }
+    params_ = best_p;
+  }
+  factorize();
+}
+
+double GaussianProcess::lml_for(const KernelParams& p) const {
+  const std::size_t n = x_.size();
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel_value(p, distance(x_[i], x_[j]));
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+    k[i * n + i] += p.noise;
+  }
+  std::vector<double> l;
+  try {
+    l = cholesky(k, n);
+  } catch (const Error&) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const std::vector<double> alpha = solve_cholesky(l, n, y_);
+  double fit_term = 0.0;
+  for (std::size_t i = 0; i < n; ++i) fit_term += y_[i] * alpha[i];
+  return -0.5 * fit_term - 0.5 * log_det_from_cholesky(l, n) -
+         0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+}
+
+void GaussianProcess::factorize() {
+  const std::size_t n = x_.size();
+  std::vector<double> k(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel_value(params_, distance(x_[i], x_[j]));
+      k[i * n + j] = v;
+      k[j * n + i] = v;
+    }
+    k[i * n + i] += params_.noise;
+  }
+  // Jitter escalation if near-singular (duplicated observations).
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    try {
+      std::vector<double> kj = k;
+      if (jitter > 0.0) {
+        for (std::size_t i = 0; i < n; ++i) kj[i * n + i] += jitter;
+      }
+      chol_ = cholesky(kj, n);
+      break;
+    } catch (const Error&) {
+      jitter = jitter == 0.0 ? 1e-8 : jitter * 100.0;
+      AHN_CHECK_MSG(attempt < 4, "GP kernel matrix irrecoverably singular");
+    }
+  }
+  alpha_ = solve_cholesky(chol_, n, y_);
+  double fit_term = 0.0;
+  for (std::size_t i = 0; i < n; ++i) fit_term += y_[i] * alpha_[i];
+  lml_ = -0.5 * fit_term - 0.5 * log_det_from_cholesky(chol_, n) -
+         0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(std::span<const double> x) const {
+  AHN_CHECK_MSG(fitted(), "predict before fit");
+  const std::size_t n = x_.size();
+  std::vector<double> kstar(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    kstar[i] = kernel_value(params_, distance(x_[i], x));
+  }
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += kstar[i] * alpha_[i];
+
+  const std::vector<double> v = solve_lower(chol_, n, kstar);
+  double var = kernel_value(params_, 0.0);
+  for (double vi : v) var -= vi * vi;
+  var = std::max(var, 1e-12);
+
+  return {mean * y_std_ + y_mean_, var * y_std_ * y_std_};
+}
+
+}  // namespace ahn::gp

@@ -1,0 +1,65 @@
+#pragma once
+// Gaussian-process regression — the probabilistic model inside both levels
+// of the hierarchical Bayesian optimization (Algorithm 2's GaussianProcess()
+// update step). Supports RBF and Matern-5/2 kernels with marginal-likelihood
+// hyperparameter selection over a small grid (deterministic, no gradients).
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ahn::gp {
+
+enum class KernelKind { Rbf, Matern52 };
+
+struct KernelParams {
+  KernelKind kind = KernelKind::Rbf;
+  double length_scale = 0.3;
+  double amplitude = 1.0;
+  double noise = 1e-4;
+};
+
+/// Kernel value for the distance r = ||x - x'||.
+[[nodiscard]] double kernel_value(const KernelParams& p, double r) noexcept;
+
+/// Exact GP regression with Cholesky factorization. Targets are internally
+/// standardized so hyperparameter defaults behave across objective scales.
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(KernelParams params = {}) : params_(params) {}
+
+  /// Fits on n points of dimension d. If `tune` is set, selects length scale
+  /// and noise by maximizing the log marginal likelihood over a fixed grid.
+  void fit(std::vector<std::vector<double>> x, std::vector<double> y, bool tune = true);
+
+  [[nodiscard]] bool fitted() const noexcept { return !x_.empty(); }
+  [[nodiscard]] std::size_t observations() const noexcept { return x_.size(); }
+
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+
+  [[nodiscard]] Prediction predict(std::span<const double> x) const;
+
+  /// Log marginal likelihood of the fitted data (for tests and tuning).
+  [[nodiscard]] double log_marginal_likelihood() const noexcept { return lml_; }
+
+  [[nodiscard]] const KernelParams& params() const noexcept { return params_; }
+
+ private:
+  void factorize();
+  [[nodiscard]] double lml_for(const KernelParams& p) const;
+
+  KernelParams params_;
+  std::vector<std::vector<double>> x_;
+  std::vector<double> y_raw_;
+  std::vector<double> y_;        // standardized targets
+  double y_mean_ = 0.0, y_std_ = 1.0;
+  std::vector<double> chol_;     // Cholesky of K + noise I
+  std::vector<double> alpha_;    // (K + noise I)^-1 y
+  double lml_ = 0.0;
+};
+
+}  // namespace ahn::gp

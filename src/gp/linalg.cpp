@@ -1,0 +1,55 @@
+#include "gp/linalg.hpp"
+
+#include <cmath>
+
+namespace ahn::gp {
+
+std::vector<double> cholesky(const std::vector<double>& a, std::size_t n) {
+  AHN_CHECK(a.size() == n * n);
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        AHN_CHECK_MSG(s > 0.0, "matrix not SPD at pivot " << i << " (value " << s << ")");
+        l[i * n + i] = std::sqrt(s);
+      } else {
+        l[i * n + j] = s / l[j * n + j];
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> solve_lower(const std::vector<double>& l, std::size_t n,
+                                const std::vector<double>& b) {
+  AHN_CHECK(b.size() == n);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l[i * n + k] * y[k];
+    y[i] = s / l[i * n + i];
+  }
+  return y;
+}
+
+std::vector<double> solve_lower_transpose(const std::vector<double>& l, std::size_t n,
+                                          const std::vector<double>& b) {
+  AHN_CHECK(b.size() == n);
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l[k * n + i] * x[k];
+    x[i] = s / l[i * n + i];
+  }
+  return x;
+}
+
+double log_det_from_cholesky(const std::vector<double>& l, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += std::log(l[i * n + i]);
+  return 2.0 * s;
+}
+
+}  // namespace ahn::gp

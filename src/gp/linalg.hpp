@@ -1,0 +1,37 @@
+#pragma once
+// Small dense symmetric linear algebra for the Gaussian process: Cholesky
+// factorization and triangular solves. Kept separate from tensor/ops because
+// these kernels are numerical-stability-sensitive and size-small (the GP
+// sees at most a few hundred observations).
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ahn::gp {
+
+/// Lower-triangular Cholesky of a symmetric positive-definite matrix stored
+/// row-major in `a` (n x n). Returns L (row-major, upper part zeroed).
+/// Throws ahn::Error if the matrix is not (numerically) SPD.
+[[nodiscard]] std::vector<double> cholesky(const std::vector<double>& a, std::size_t n);
+
+/// Solves L y = b (forward substitution), L lower-triangular row-major.
+[[nodiscard]] std::vector<double> solve_lower(const std::vector<double>& l, std::size_t n,
+                                              const std::vector<double>& b);
+
+/// Solves L^T x = b (backward substitution).
+[[nodiscard]] std::vector<double> solve_lower_transpose(const std::vector<double>& l,
+                                                        std::size_t n,
+                                                        const std::vector<double>& b);
+
+/// Solves (L L^T) x = b given the Cholesky factor.
+[[nodiscard]] inline std::vector<double> solve_cholesky(const std::vector<double>& l,
+                                                        std::size_t n,
+                                                        const std::vector<double>& b) {
+  return solve_lower_transpose(l, n, solve_lower(l, n, b));
+}
+
+/// log(det(L L^T)) = 2 * sum(log diag(L)).
+[[nodiscard]] double log_det_from_cholesky(const std::vector<double>& l, std::size_t n);
+
+}  // namespace ahn::gp

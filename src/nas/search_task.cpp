@@ -1,0 +1,37 @@
+#include "nas/search_task.hpp"
+
+namespace ahn::nas {
+
+std::vector<double> PipelineModel::infer(std::span<const double> features) const {
+  Tensor x({1, features.size()});
+  std::copy(features.begin(), features.end(), x.row(0).begin());
+  const Tensor reduced = encoder != nullptr ? encoder->encode(x) : x;
+  const Tensor pred = surrogate.predict(reduced);
+  return {pred.row(0).begin(), pred.row(0).end()};
+}
+
+PipelineModel evaluate_candidate(const SearchTask& task, const nn::TopologySpec& spec,
+                                 std::shared_ptr<const autoencoder::Autoencoder> encoder,
+                                 const nn::Dataset& reduced_data, Rng& rng) {
+  PipelineModel pm;
+  pm.encoder = std::move(encoder);
+  pm.spec = spec;
+  pm.latent_k = pm.encoder != nullptr ? pm.encoder->latent_dim() : 0;
+
+  nn::Network net = nn::build_surrogate(spec, reduced_data.in_features(),
+                                        reduced_data.out_features(), rng);
+  pm.surrogate = nn::train_surrogate(std::move(net), reduced_data, task.train);
+
+  // f_c: modeled per-problem inference time on the device, including the
+  // encoder's share when feature reduction is in front.
+  OpCounts ops = pm.surrogate.net.inference_cost(1);
+  if (pm.encoder != nullptr) ops += pm.encoder->encode_cost(1);
+  pm.modeled_infer_seconds =
+      task.device.kernel_seconds(ops, runtime::nn_inference_profile());
+
+  // f_e: application-level quality degradation.
+  pm.quality_error = task.evaluate_quality(pm);
+  return pm;
+}
+
+}  // namespace ahn::nas

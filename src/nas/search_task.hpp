@@ -1,0 +1,60 @@
+#pragma once
+// Search-task definition shared by the 2D NAS, the Autokeras-like baseline
+// and the grid-search comparator. A task bundles the training data, the
+// quality-degradation evaluator (f_e — application-level, via a callback so
+// nas stays independent of the apps module), the device model pricing f_c,
+// and the user's bounds (Table 1: qualityLoss / encodingLoss).
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "autoencoder/autoencoder.hpp"
+#include "nn/topology.hpp"
+#include "nn/train.hpp"
+#include "runtime/device.hpp"
+#include "sparse/formats.hpp"
+
+namespace ahn::nas {
+
+/// A candidate end-to-end surrogate pipeline: optional encoder + surrogate,
+/// with its measured search objectives.
+struct PipelineModel {
+  std::shared_ptr<const autoencoder::Autoencoder> encoder;  ///< null = full input
+  nn::TrainedSurrogate surrogate;
+  nn::TopologySpec spec;
+  std::size_t latent_k = 0;  ///< 0 = no feature reduction
+
+  double quality_error = std::numeric_limits<double>::infinity();         ///< f_e
+  double modeled_infer_seconds = std::numeric_limits<double>::infinity(); ///< f_c
+
+  /// End-to-end prediction for one problem's full-width features.
+  [[nodiscard]] std::vector<double> infer(std::span<const double> features) const;
+};
+
+struct SearchTask {
+  nn::Dataset data;                    ///< full-width features -> outputs
+  const sparse::Csr* sparse_x = nullptr;  ///< optional CSR view of data.x
+
+  /// Application-level quality degradation of a candidate (mean Eqn-3 error
+  /// over validation problems). Must be callable repeatedly.
+  std::function<double(const PipelineModel&)> evaluate_quality;
+
+  runtime::DeviceModel device;
+  double quality_bound = 0.1;        ///< epsilon on f_e (Table 1 qualityLoss)
+  double encoding_loss_bound = 0.2;  ///< Eqn-1 bound (Table 1 encodingLoss)
+
+  nn::TrainOptions train;            ///< model-level knobs (Table 1)
+  nn::TopologySpace space;
+  std::uint64_t seed = 11;
+};
+
+/// Builds, trains and prices one candidate on (optionally reduced) data.
+/// Shared by all searchers.
+[[nodiscard]] PipelineModel evaluate_candidate(
+    const SearchTask& task, const nn::TopologySpec& spec,
+    std::shared_ptr<const autoencoder::Autoencoder> encoder,
+    const nn::Dataset& reduced_data, Rng& rng);
+
+}  // namespace ahn::nas

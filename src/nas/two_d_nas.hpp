@@ -1,0 +1,90 @@
+#pragma once
+// 2D neural architecture search (§5, Algorithm 2): a hierarchical Bayesian
+// optimization whose outer loop tunes the input dimension K (training a
+// fresh autoencoder per proposal) and whose inner loop tunes the surrogate
+// topology theta on the K-reduced features. The two loops coordinate: the
+// inner loop returns the best (f_c, f_e) for the outer GP to respond to.
+//
+// Keeping K and theta in separate GPs is the paper's fix for the broken
+// Euclidean semantics of concatenating feature-count and topology knobs in
+// one optimization vector (§5.2) — the ablation bench quantifies this
+// against a flat joint BO.
+
+#include <iosfwd>
+
+#include "gp/bayesopt.hpp"
+#include "nas/search_task.hpp"
+
+namespace ahn::nas {
+
+enum class SearchType { Autokeras, UserModel, FullInput };
+
+[[nodiscard]] const char* search_type_name(SearchType t) noexcept;
+
+struct NasOptions {
+  SearchType search_type = SearchType::Autokeras;  ///< Table 1 "searchType"
+  nn::TopologySpec user_model;  ///< starting spec for SearchType::UserModel
+  std::size_t bayesian_init = 3;   ///< Table 1 "bayesianInit"
+  std::size_t outer_iterations = 4;
+  std::size_t inner_iterations = 6;
+  std::size_t k_min = 4;
+  std::size_t k_max = 64;          ///< clamped to the task's input width
+  std::size_t ae_epochs = 40;
+  /// Stop early once a feasible candidate beats this objective-improvement
+  /// stagnation count (the paper: "a continuing search does not lead to
+  /// enough improvement").
+  std::size_t patience = 3;
+};
+
+/// One completed (K, theta) evaluation — the searchers' audit trail and the
+/// data source of the BO-efficiency bench.
+struct SearchStep {
+  std::size_t outer_iteration = 0;
+  std::size_t latent_k = 0;
+  nn::TopologySpec spec;
+  double quality_error = 0.0;
+  double modeled_infer_seconds = 0.0;
+  double encoding_miss = 0.0;  ///< Eqn-1 miss fraction of the iteration's AE
+  double elapsed_seconds = 0.0;
+};
+
+struct NasResult {
+  PipelineModel best;
+  bool found_feasible = false;
+  std::vector<SearchStep> steps;
+  double autoencoder_train_seconds = 0.0;
+  double search_seconds = 0.0;
+
+  [[nodiscard]] std::size_t evaluations() const noexcept { return steps.size(); }
+};
+
+class TwoDNas {
+ public:
+  explicit TwoDNas(NasOptions options) : options_(options) {}
+
+  [[nodiscard]] NasResult search(const SearchTask& task) const;
+
+  /// Checkpointing (§6.1): serializes the completed steps so a later run
+  /// can warm-start the outer GP instead of re-evaluating.
+  static void save_checkpoint(std::ostream& os, const NasResult& partial);
+  [[nodiscard]] static std::vector<SearchStep> load_checkpoint(std::istream& is);
+
+  /// Warm-started search: previously completed steps seed the outer GP.
+  [[nodiscard]] NasResult search_from(const SearchTask& task,
+                                      const std::vector<SearchStep>& prior) const;
+
+ private:
+  struct InnerOutcome {
+    PipelineModel best;
+    std::vector<SearchStep> steps;
+  };
+
+  [[nodiscard]] InnerOutcome inner_search(
+      const SearchTask& task, const nn::Dataset& reduced,
+      std::shared_ptr<const autoencoder::Autoencoder> encoder, double encoding_miss,
+      std::size_t outer_iter, Rng& rng, std::size_t iterations = 0) const;
+
+  NasOptions options_;
+};
+
+}  // namespace ahn::nas

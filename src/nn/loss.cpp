@@ -1,0 +1,59 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ahn::nn {
+
+namespace {
+constexpr double kHuberDelta = 1.0;
+}
+
+const char* loss_name(LossKind k) noexcept {
+  switch (k) {
+    case LossKind::Mse: return "mse";
+    case LossKind::Mae: return "mae";
+    case LossKind::Huber: return "huber";
+  }
+  return "?";
+}
+
+double loss_value(LossKind k, const Tensor& pred, const Tensor& target) {
+  AHN_CHECK(pred.size() == target.size() && pred.size() > 0);
+  const double n = static_cast<double>(pred.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    switch (k) {
+      case LossKind::Mse: s += d * d; break;
+      case LossKind::Mae: s += std::abs(d); break;
+      case LossKind::Huber:
+        s += std::abs(d) <= kHuberDelta ? 0.5 * d * d
+                                        : kHuberDelta * (std::abs(d) - 0.5 * kHuberDelta);
+        break;
+    }
+  }
+  return s / n;
+}
+
+Tensor loss_grad(LossKind k, const Tensor& pred, const Tensor& target) {
+  AHN_CHECK(pred.size() == target.size() && pred.size() > 0);
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  Tensor g(pred.shape());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    switch (k) {
+      case LossKind::Mse: g[i] = 2.0 * d * inv_n; break;
+      case LossKind::Mae: g[i] = (d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)) * inv_n; break;
+      case LossKind::Huber:
+        g[i] = (std::abs(d) <= kHuberDelta
+                    ? d
+                    : kHuberDelta * (d > 0.0 ? 1.0 : -1.0)) * inv_n;
+        break;
+    }
+  }
+  return g;
+}
+
+}  // namespace ahn::nn

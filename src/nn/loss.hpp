@@ -1,0 +1,19 @@
+#pragma once
+// Regression losses for surrogate training. Surrogates predict the replaced
+// region's output variables, so losses are elementwise over output features.
+
+#include "tensor/tensor.hpp"
+
+namespace ahn::nn {
+
+enum class LossKind { Mse, Mae, Huber };
+
+[[nodiscard]] const char* loss_name(LossKind k) noexcept;
+
+/// Loss value averaged over batch * features.
+[[nodiscard]] double loss_value(LossKind k, const Tensor& pred, const Tensor& target);
+
+/// Gradient of the averaged loss wrt pred (same shape as pred).
+[[nodiscard]] Tensor loss_grad(LossKind k, const Tensor& pred, const Tensor& target);
+
+}  // namespace ahn::nn

@@ -1,0 +1,65 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ahn::nn {
+
+void Sgd::bind(std::vector<Tensor*> params, std::vector<Tensor*> grads) {
+  AHN_CHECK(params.size() == grads.size());
+  params_ = std::move(params);
+  grads_ = std::move(grads);
+  velocity_.clear();
+  velocity_.reserve(params_.size());
+  for (const Tensor* p : params_) velocity_.emplace_back(Tensor::zeros(p->shape()));
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    Tensor& g = *grads_[i];
+    Tensor& v = velocity_[i];
+    AHN_DCHECK(p.size() == g.size());
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      v[j] = momentum_ * v[j] - lr_ * g[j];
+      p[j] += v[j];
+      g[j] = 0.0;
+    }
+  }
+}
+
+void Adam::bind(std::vector<Tensor*> params, std::vector<Tensor*> grads) {
+  AHN_CHECK(params.size() == grads.size());
+  params_ = std::move(params);
+  grads_ = std::move(grads);
+  m_.clear();
+  v_.clear();
+  t_ = 0;
+  for (const Tensor* p : params_) {
+    m_.emplace_back(Tensor::zeros(p->shape()));
+    v_.emplace_back(Tensor::zeros(p->shape()));
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = *params_[i];
+    Tensor& g = *grads_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+      g[j] = 0.0;
+    }
+  }
+}
+
+}  // namespace ahn::nn

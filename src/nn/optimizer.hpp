@@ -1,0 +1,61 @@
+#pragma once
+// First-order optimizers. Adam is the default surrogate trainer (the paper's
+// model-level knobs expose learning rate / batch size; Table 1).
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ahn::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers the parameter/gradient pairs it will update. Must be called
+  /// once before step(); re-binding resets optimizer state.
+  virtual void bind(std::vector<Tensor*> params, std::vector<Tensor*> grads) = 0;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+
+  [[nodiscard]] virtual double learning_rate() const noexcept = 0;
+  virtual void set_learning_rate(double lr) noexcept = 0;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.9) : lr_(lr), momentum_(momentum) {}
+
+  void bind(std::vector<Tensor*> params, std::vector<Tensor*> grads) override;
+  void step() override;
+  [[nodiscard]] double learning_rate() const noexcept override { return lr_; }
+  void set_learning_rate(double lr) noexcept override { lr_ = lr; }
+
+ private:
+  double lr_, momentum_;
+  std::vector<Tensor*> params_, grads_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr, double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void bind(std::vector<Tensor*> params, std::vector<Tensor*> grads) override;
+  void step() override;
+  [[nodiscard]] double learning_rate() const noexcept override { return lr_; }
+  void set_learning_rate(double lr) noexcept override { lr_ = lr; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor*> params_, grads_;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace ahn::nn

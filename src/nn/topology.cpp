@@ -1,0 +1,192 @@
+#include "nn/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ahn::nn {
+
+const char* model_kind_name(ModelKind k) noexcept {
+  return k == ModelKind::Mlp ? "mlp" : "cnn";
+}
+
+std::string TopologySpec::describe() const {
+  std::ostringstream os;
+  os << model_kind_name(kind) << "(L" << num_layers;
+  if (kind == ModelKind::Mlp) {
+    os << ",u" << hidden_units;
+  } else {
+    os << ",c" << channels << ",k" << kernel << ",p" << pool;
+  }
+  if (residual) os << ",res";
+  os << "," << activation_name(act) << ")";
+  return os.str();
+}
+
+TopologySpec TopologySpace::random(Rng& rng) const {
+  TopologySpec s;
+  s.kind = (allow_cnn && rng.bernoulli(0.3)) ? ModelKind::Cnn : ModelKind::Mlp;
+  s.num_layers = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(min_layers),
+                      static_cast<std::int64_t>(max_layers)));
+  // Log-uniform width so small/cheap nets are sampled as often as wide ones.
+  const double lo = std::log2(static_cast<double>(min_units));
+  const double hi = std::log2(static_cast<double>(max_units));
+  s.hidden_units = static_cast<std::size_t>(std::round(std::exp2(rng.uniform(lo, hi))));
+  s.channels = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(min_channels),
+                      static_cast<std::int64_t>(max_channels)));
+  s.kernel = kernel_choices[rng.uniform_index(kernel_choices.size())];
+  s.pool = pool_choices[rng.uniform_index(pool_choices.size())];
+  s.residual = rng.bernoulli(0.25);
+  // Identity is a first-class choice: many HPC regions are near-linear
+  // operators and a (deep) linear surrogate both trains fast and wins f_c.
+  constexpr Activation acts[] = {Activation::Relu, Activation::Tanh,
+                                 Activation::Identity, Activation::LeakyRelu};
+  s.act = acts[rng.uniform_index(4)];
+  return s;
+}
+
+std::vector<double> TopologySpace::encode(const TopologySpec& s) const {
+  auto unit = [](double v, double lo, double hi) {
+    return hi > lo ? std::clamp((v - lo) / (hi - lo), 0.0, 1.0) : 0.0;
+  };
+  std::vector<double> x(encoded_dim());
+  x[0] = s.kind == ModelKind::Cnn ? 1.0 : 0.0;
+  x[1] = unit(static_cast<double>(s.num_layers), static_cast<double>(min_layers),
+              static_cast<double>(max_layers));
+  x[2] = unit(std::log2(static_cast<double>(s.hidden_units)),
+              std::log2(static_cast<double>(min_units)),
+              std::log2(static_cast<double>(max_units)));
+  x[3] = unit(static_cast<double>(s.channels), static_cast<double>(min_channels),
+              static_cast<double>(max_channels));
+  x[4] = unit(static_cast<double>(s.kernel), static_cast<double>(kernel_choices.front()),
+              static_cast<double>(kernel_choices.back()));
+  x[5] = s.pool > 1 ? 1.0 : 0.0;
+  x[6] = s.residual ? 1.0 : 0.0;
+  switch (s.act) {
+    case Activation::Relu: x[7] = 0.125; break;
+    case Activation::Tanh: x[7] = 0.375; break;
+    case Activation::Identity: x[7] = 0.625; break;
+    case Activation::LeakyRelu: x[7] = 0.875; break;
+    case Activation::Sigmoid: x[7] = 0.875; break;  // folded with leaky slot
+  }
+  return x;
+}
+
+TopologySpec TopologySpace::decode(std::span<const double> x) const {
+  AHN_CHECK(x.size() == encoded_dim());
+  auto lerp_round = [](double t, double lo, double hi) {
+    return std::round(lo + std::clamp(t, 0.0, 1.0) * (hi - lo));
+  };
+  TopologySpec s;
+  s.kind = (allow_cnn && x[0] >= 0.5) ? ModelKind::Cnn : ModelKind::Mlp;
+  s.num_layers = static_cast<std::size_t>(lerp_round(
+      x[1], static_cast<double>(min_layers), static_cast<double>(max_layers)));
+  const double log_units = std::log2(static_cast<double>(min_units)) +
+                           std::clamp(x[2], 0.0, 1.0) *
+                               (std::log2(static_cast<double>(max_units)) -
+                                std::log2(static_cast<double>(min_units)));
+  s.hidden_units = std::max<std::size_t>(
+      min_units, static_cast<std::size_t>(std::round(std::exp2(log_units))));
+  s.channels = static_cast<std::size_t>(lerp_round(
+      x[3], static_cast<double>(min_channels), static_cast<double>(max_channels)));
+  // Snap kernel to the nearest allowed choice.
+  const double kt = kernel_choices.front() +
+                    std::clamp(x[4], 0.0, 1.0) *
+                        static_cast<double>(kernel_choices.back() - kernel_choices.front());
+  std::size_t best_k = kernel_choices.front();
+  double best_d = 1e30;
+  for (std::size_t k : kernel_choices) {
+    const double d = std::abs(static_cast<double>(k) - kt);
+    if (d < best_d) {
+      best_d = d;
+      best_k = k;
+    }
+  }
+  s.kernel = best_k;
+  s.pool = x[5] >= 0.5 ? pool_choices.back() : pool_choices.front();
+  s.residual = x[6] >= 0.5;
+  const double a = std::clamp(x[7], 0.0, 1.0);
+  if (a < 0.25) {
+    s.act = Activation::Relu;
+  } else if (a < 0.5) {
+    s.act = Activation::Tanh;
+  } else if (a < 0.75) {
+    s.act = Activation::Identity;
+  } else {
+    s.act = Activation::LeakyRelu;
+  }
+  return s;
+}
+
+TopologySpec TopologySpace::mutate(const TopologySpec& s, Rng& rng) const {
+  std::vector<double> x = encode(s);
+  // Perturb 1-2 coordinates with Gaussian noise; flip booleans occasionally.
+  const std::size_t flips = 1 + rng.uniform_index(2);
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t d = rng.uniform_index(x.size());
+    if (d == 0 || d == 5 || d == 6) {
+      if (rng.bernoulli(0.5)) x[d] = x[d] >= 0.5 ? 0.0 : 1.0;
+    } else {
+      x[d] = std::clamp(x[d] + rng.gaussian(0.0, 0.2), 0.0, 1.0);
+    }
+  }
+  return decode(x);
+}
+
+namespace {
+
+/// Picks a conv sequence length L and channel view for `in` features:
+/// the flat input is treated as 1 channel of length `in`.
+Network build_cnn(const TopologySpec& spec, std::size_t in, std::size_t out, Rng& rng) {
+  Network net;
+  std::size_t channels = 1;
+  std::size_t length = in;
+  for (std::size_t l = 0; l < spec.num_layers; ++l) {
+    const std::size_t oc = spec.channels;
+    net.add(std::make_unique<Conv1dLayer>(channels, oc, spec.kernel, length, rng));
+    net.add(std::make_unique<ActivationLayer>(spec.act));
+    channels = oc;
+    if (spec.pool > 1 && length % spec.pool == 0 && length / spec.pool >= 2) {
+      net.add(std::make_unique<MaxPool1dLayer>(channels, length, spec.pool));
+      length /= spec.pool;
+    }
+  }
+  net.add(std::make_unique<DenseLayer>(channels * length, spec.hidden_units, rng));
+  net.add(std::make_unique<ActivationLayer>(spec.act));
+  net.add(std::make_unique<DenseLayer>(spec.hidden_units, out, rng));
+  return net;
+}
+
+Network build_mlp(const TopologySpec& spec, std::size_t in, std::size_t out, Rng& rng) {
+  Network net;
+  net.add(std::make_unique<DenseLayer>(in, spec.hidden_units, rng));
+  net.add(std::make_unique<ActivationLayer>(spec.act));
+  for (std::size_t l = 1; l < spec.num_layers; ++l) {
+    if (spec.residual) {
+      std::vector<std::unique_ptr<Layer>> body;
+      body.push_back(
+          std::make_unique<DenseLayer>(spec.hidden_units, spec.hidden_units, rng));
+      body.push_back(std::make_unique<ActivationLayer>(spec.act));
+      net.add(std::make_unique<ResidualLayer>(std::move(body)));
+    } else {
+      net.add(std::make_unique<DenseLayer>(spec.hidden_units, spec.hidden_units, rng));
+      net.add(std::make_unique<ActivationLayer>(spec.act));
+    }
+  }
+  net.add(std::make_unique<DenseLayer>(spec.hidden_units, out, rng));
+  return net;
+}
+
+}  // namespace
+
+Network build_surrogate(const TopologySpec& spec, std::size_t in, std::size_t out,
+                        Rng& rng) {
+  AHN_CHECK(in > 0 && out > 0);
+  // Tiny inputs cannot support a conv pipeline; fall back to the MLP view.
+  if (spec.kind == ModelKind::Cnn && in >= 8) return build_cnn(spec, in, out, rng);
+  return build_mlp(spec, in, out, rng);
+}
+
+}  // namespace ahn::nn

@@ -1,0 +1,87 @@
+#include "runtime/orchestrator.hpp"
+
+#include "common/error.hpp"
+
+namespace ahn::runtime {
+
+void Orchestrator::put_tensor(const std::string& key, Tensor value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  tensors_[key] = std::move(value);
+}
+
+Tensor Orchestrator::get_tensor(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tensors_.find(key);
+  AHN_CHECK_MSG(it != tensors_.end(), "no tensor at key '" << key << "'");
+  return it->second;
+}
+
+bool Orchestrator::has_tensor(const std::string& key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tensors_.contains(key);
+}
+
+void Orchestrator::delete_tensor(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  tensors_.erase(key);
+}
+
+void Orchestrator::set_model(const std::string& name,
+                             std::shared_ptr<const ServableModel> model) {
+  AHN_CHECK(model != nullptr);
+  const std::lock_guard<std::mutex> lock(mu_);
+  models_[name] = std::move(model);
+}
+
+std::shared_ptr<const ServableModel> Orchestrator::model(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = models_.find(name);
+  AHN_CHECK_MSG(it != models_.end(), "no model named '" << name << "'");
+  return it->second;
+}
+
+void Orchestrator::run_model(const std::string& name, const std::string& in_key,
+                             const std::string& out_key, PhaseAccumulator* phases) {
+  const std::shared_ptr<const ServableModel> m = model(name);
+  Tensor input = get_tensor(in_key);
+  AHN_CHECK(input.rank() == 2);
+  const std::size_t batch = input.rows();
+
+  // (1) fetch: move the input tensor onto the device.
+  const double fetch_s =
+      device_.transfer_seconds(sizeof(double) * input.size());
+
+  // (2) encode: feature reduction on device (skipped without an encoder).
+  double encode_s = 0.0;
+  Tensor reduced = std::move(input);
+  if (m->encode) {
+    reduced = m->encode(reduced);
+    OpCounts per_batch = m->encode_ops;
+    per_batch.flops *= batch;
+    per_batch.bytes_read *= batch;
+    per_batch.bytes_written *= batch;
+    encode_s = device_.kernel_seconds(per_batch, nn_inference_profile());
+  }
+
+  // (3) load: touch the cached surrogate weights.
+  const double load_s = device_.spec().model_load_latency;
+
+  // (4) run: surrogate inference + result transfer back.
+  const Tensor out = m->surrogate.predict(reduced);
+  OpCounts run_ops = m->infer_ops;
+  run_ops.flops *= batch;
+  run_ops.bytes_read *= batch;
+  run_ops.bytes_written *= batch;
+  const double run_s = device_.kernel_seconds(run_ops, nn_inference_profile()) +
+                       device_.transfer_seconds(sizeof(double) * out.size());
+
+  if (phases != nullptr) {
+    phases->add("fetch", fetch_s);
+    phases->add("encode", encode_s);
+    phases->add("load", load_s);
+    phases->add("run", run_s);
+  }
+  put_tensor(out_key, out);
+}
+
+}  // namespace ahn::runtime

@@ -1,0 +1,81 @@
+#pragma once
+// In-memory inference orchestration — the reproduction of the paper's §6.3
+// deployment path (SmartSim Orchestrator + RedisAI middleware): a keyed
+// tensor store shared between the HPC application and the NN runtime, a
+// model registry, and a lightweight client (Listing 1's API: put_tensor /
+// run_model / unpack_tensor) compiled into the application.
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/timer.hpp"
+#include "nn/train.hpp"
+#include "runtime/device.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ahn::runtime {
+
+/// A servable model: an optional feature-reduction encoder in front of the
+/// trained surrogate (both execute "on device" via the device model).
+struct ServableModel {
+  std::function<Tensor(const Tensor&)> encode;  ///< may be empty (no reduction)
+  OpCounts encode_ops;                           ///< per-row encode cost
+  nn::TrainedSurrogate surrogate;
+  OpCounts infer_ops;                            ///< per-row inference cost
+};
+
+/// The keyed tensor store + model registry (one per "experiment").
+class Orchestrator {
+ public:
+  explicit Orchestrator(DeviceModel device = DeviceModel{}) : device_(device) {}
+
+  void put_tensor(const std::string& key, Tensor value);
+  [[nodiscard]] Tensor get_tensor(const std::string& key) const;
+  [[nodiscard]] bool has_tensor(const std::string& key) const;
+  void delete_tensor(const std::string& key);
+
+  void set_model(const std::string& name, std::shared_ptr<const ServableModel> model);
+  [[nodiscard]] std::shared_ptr<const ServableModel> model(const std::string& name) const;
+
+  /// Runs `name` on the tensor at `in_key`, storing the result at `out_key`.
+  /// Wall time of each online phase is modeled with the device model and
+  /// accumulated into `phases` when provided (the §7.3 breakdown:
+  /// "fetch" / "encode" / "load" / "run").
+  void run_model(const std::string& name, const std::string& in_key,
+                 const std::string& out_key, PhaseAccumulator* phases = nullptr);
+
+  [[nodiscard]] const DeviceModel& device() const noexcept { return device_; }
+
+ private:
+  DeviceModel device_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Tensor> tensors_;
+  std::unordered_map<std::string, std::shared_ptr<const ServableModel>> models_;
+};
+
+/// Listing 1's application-side client.
+class Client {
+ public:
+  explicit Client(Orchestrator& orc) noexcept : orc_(&orc) {}
+
+  void put_tensor(const std::string& key, Tensor value) {
+    orc_->put_tensor(key, std::move(value));
+  }
+
+  void run_model(const std::string& name, const std::string& in_key,
+                 const std::string& out_key, PhaseAccumulator* phases = nullptr) {
+    orc_->run_model(name, in_key, out_key, phases);
+  }
+
+  [[nodiscard]] Tensor unpack_tensor(const std::string& key) const {
+    return orc_->get_tensor(key);
+  }
+
+ private:
+  Orchestrator* orc_;
+};
+
+}  // namespace ahn::runtime

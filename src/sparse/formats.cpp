@@ -1,0 +1,146 @@
+#include "sparse/formats.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ahn::sparse {
+
+void Coo::coalesce() {
+  std::vector<std::size_t> order(nnz());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row[a] != row[b]) return row[a] < row[b];
+    return col[a] < col[b];
+  });
+
+  std::vector<std::size_t> nr, nc;
+  std::vector<double> nv;
+  nr.reserve(nnz());
+  nc.reserve(nnz());
+  nv.reserve(nnz());
+  for (std::size_t k : order) {
+    if (!nv.empty() && nr.back() == row[k] && nc.back() == col[k]) {
+      nv.back() += val[k];
+    } else {
+      nr.push_back(row[k]);
+      nc.push_back(col[k]);
+      nv.push_back(val[k]);
+    }
+  }
+  row = std::move(nr);
+  col = std::move(nc);
+  val = std::move(nv);
+}
+
+Csr::Csr(std::size_t rows, std::size_t cols, std::vector<std::size_t> row_ptr,
+         std::vector<std::size_t> col_idx, std::vector<double> val)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)), val_(std::move(val)) {
+  AHN_CHECK(row_ptr_.size() == rows_ + 1);
+  AHN_CHECK(col_idx_.size() == val_.size());
+  AHN_CHECK(row_ptr_.front() == 0 && row_ptr_.back() == val_.size());
+}
+
+Csr Csr::from_coo(Coo coo) {
+  coo.coalesce();
+  Csr a;
+  a.rows_ = coo.rows;
+  a.cols_ = coo.cols;
+  a.row_ptr_.assign(coo.rows + 1, 0);
+  for (std::size_t r : coo.row) a.row_ptr_[r + 1]++;
+  for (std::size_t i = 0; i < coo.rows; ++i) a.row_ptr_[i + 1] += a.row_ptr_[i];
+  a.col_idx_ = std::move(coo.col);
+  a.val_ = std::move(coo.val);
+  return a;
+}
+
+Csr Csr::from_dense(const Tensor& dense, double tol) {
+  AHN_CHECK(dense.rank() == 2);
+  Coo coo;
+  coo.rows = dense.rows();
+  coo.cols = dense.cols();
+  for (std::size_t r = 0; r < coo.rows; ++r) {
+    for (std::size_t c = 0; c < coo.cols; ++c) {
+      const double v = dense.at(r, c);
+      if (std::abs(v) > tol) coo.push(r, c, v);
+    }
+  }
+  return from_coo(std::move(coo));
+}
+
+double Csr::at(std::size_t r, std::size_t c) const {
+  AHN_CHECK(r < rows_ && c < cols_);
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[r + 1]);
+  const auto it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0;
+  return val_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Tensor Csr::to_dense() const {
+  Tensor d({rows_, cols_});
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      d.at(r, col_idx_[k]) = val_[k];
+    }
+  }
+  return d;
+}
+
+Coo Csr::to_coo() const {
+  Coo coo;
+  coo.rows = rows_;
+  coo.cols = cols_;
+  coo.row.reserve(nnz());
+  coo.col = col_idx_;
+  coo.val = val_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) coo.row.push_back(r);
+  }
+  return coo;
+}
+
+Csr Csr::transpose() const {
+  Csr t;
+  t.rows_ = cols_;
+  t.cols_ = rows_;
+  t.row_ptr_.assign(cols_ + 1, 0);
+  for (std::size_t c : col_idx_) t.row_ptr_[c + 1]++;
+  for (std::size_t i = 0; i < cols_; ++i) t.row_ptr_[i + 1] += t.row_ptr_[i];
+  t.col_idx_.resize(nnz());
+  t.val_.resize(nnz());
+  std::vector<std::size_t> next = t.row_ptr_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t pos = next[col_idx_[k]]++;
+      t.col_idx_[pos] = r;
+      t.val_[pos] = val_[k];
+    }
+  }
+  return t;
+}
+
+Csr Csr::slice_rows(std::size_t begin, std::size_t end) const {
+  AHN_CHECK(begin <= end && end <= rows_);
+  Csr out;
+  out.rows_ = end - begin;
+  out.cols_ = cols_;
+  out.row_ptr_.resize(out.rows_ + 1);
+  const std::size_t base = row_ptr_[begin];
+  for (std::size_t r = 0; r <= out.rows_; ++r) {
+    out.row_ptr_[r] = row_ptr_[begin + r] - base;
+  }
+  out.col_idx_.assign(col_idx_.begin() + static_cast<std::ptrdiff_t>(base),
+                      col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[end]));
+  out.val_.assign(val_.begin() + static_cast<std::ptrdiff_t>(base),
+                  val_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[end]));
+  return out;
+}
+
+std::vector<double> Csr::diagonal() const {
+  std::vector<double> d(std::min(rows_, cols_), 0.0);
+  for (std::size_t r = 0; r < d.size(); ++r) d[r] = at(r, r);
+  return d;
+}
+
+}  // namespace ahn::sparse

@@ -1,0 +1,116 @@
+#include "sparse/generators.hpp"
+
+#include <cmath>
+#include <set>
+
+namespace ahn::sparse {
+
+Csr poisson2d(std::size_t n) {
+  AHN_CHECK(n >= 2);
+  const std::size_t dim = n * n;
+  Coo coo;
+  coo.rows = coo.cols = dim;
+  auto id = [n](std::size_t i, std::size_t j) { return i * n + j; };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t c = id(i, j);
+      coo.push(c, c, 4.0);
+      if (i > 0) coo.push(c, id(i - 1, j), -1.0);
+      if (i + 1 < n) coo.push(c, id(i + 1, j), -1.0);
+      if (j > 0) coo.push(c, id(i, j - 1), -1.0);
+      if (j + 1 < n) coo.push(c, id(i, j + 1), -1.0);
+    }
+  }
+  return Csr::from_coo(std::move(coo));
+}
+
+Csr poisson3d(std::size_t n) {
+  AHN_CHECK(n >= 2);
+  const std::size_t dim = n * n * n;
+  Coo coo;
+  coo.rows = coo.cols = dim;
+  auto id = [n](std::size_t i, std::size_t j, std::size_t k) {
+    return (i * n + j) * n + k;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t c = id(i, j, k);
+        coo.push(c, c, 6.0);
+        if (i > 0) coo.push(c, id(i - 1, j, k), -1.0);
+        if (i + 1 < n) coo.push(c, id(i + 1, j, k), -1.0);
+        if (j > 0) coo.push(c, id(i, j - 1, k), -1.0);
+        if (j + 1 < n) coo.push(c, id(i, j + 1, k), -1.0);
+        if (k > 0) coo.push(c, id(i, j, k - 1), -1.0);
+        if (k + 1 < n) coo.push(c, id(i, j, k + 1), -1.0);
+      }
+    }
+  }
+  return Csr::from_coo(std::move(coo));
+}
+
+Csr random_spd(std::size_t dim, std::size_t nnz_per_row, Rng& rng) {
+  AHN_CHECK(dim >= 1);
+  Coo coo;
+  coo.rows = coo.cols = dim;
+  std::vector<double> row_abs_sum(dim, 0.0);
+  // Symmetric off-diagonal pattern: draw (r, c) pairs with r < c and mirror.
+  for (std::size_t r = 0; r + 1 < dim; ++r) {
+    std::set<std::size_t> cols;
+    const std::size_t avail = dim - 1 - r;
+    const std::size_t want = std::min(nnz_per_row, avail);
+    std::size_t attempts = 0;
+    while (cols.size() < want && attempts < 16 * want + 16) {
+      cols.insert(r + 1 + static_cast<std::size_t>(rng.uniform_index(avail)));
+      ++attempts;
+    }
+    for (std::size_t c : cols) {
+      const double v = -std::abs(rng.gaussian(0.0, 1.0));
+      coo.push(r, c, v);
+      coo.push(c, r, v);
+      row_abs_sum[r] += std::abs(v);
+      row_abs_sum[c] += std::abs(v);
+    }
+  }
+  // Strict diagonal dominance => SPD for a symmetric matrix.
+  for (std::size_t r = 0; r < dim; ++r) {
+    coo.push(r, r, row_abs_sum[r] + 1.0 + rng.uniform());
+  }
+  return Csr::from_coo(std::move(coo));
+}
+
+Csr random_sparse(std::size_t rows, std::size_t cols, double density, Rng& rng) {
+  AHN_CHECK(density > 0.0 && density <= 1.0);
+  Coo coo;
+  coo.rows = rows;
+  coo.cols = cols;
+  const auto target = static_cast<std::size_t>(
+      density * static_cast<double>(rows) * static_cast<double>(cols));
+  for (std::size_t k = 0; k < target; ++k) {
+    coo.push(static_cast<std::size_t>(rng.uniform_index(rows)),
+             static_cast<std::size_t>(rng.uniform_index(cols)),
+             rng.gaussian());
+  }
+  return Csr::from_coo(std::move(coo));
+}
+
+Csr tridiagonal_mass(std::size_t dim, Rng& rng) {
+  AHN_CHECK(dim >= 2);
+  Coo coo;
+  coo.rows = coo.cols = dim;
+  for (std::size_t i = 0; i < dim; ++i) {
+    const double w = 1.0 + 0.2 * rng.uniform();
+    coo.push(i, i, 4.0 * w);
+    if (i > 0) coo.push(i, i - 1, 1.0 * w);
+    if (i + 1 < dim) coo.push(i, i + 1, 1.0 * w);
+  }
+  return Csr::from_coo(std::move(coo));
+}
+
+std::vector<double> random_rhs(std::size_t dim, Rng& rng) {
+  std::vector<double> b(dim);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  return b;
+}
+
+}  // namespace ahn::sparse

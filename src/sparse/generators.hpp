@@ -1,0 +1,33 @@
+#pragma once
+// Sparse problem generators. The evaluation applications need families of
+// sparse SPD systems (CG, AMG, fluid PCG, Laghos) drawn from controlled
+// distributions; these generators produce them reproducibly from an Rng.
+
+#include "common/rng.hpp"
+#include "sparse/formats.hpp"
+
+namespace ahn::sparse {
+
+/// 5-point Laplacian stencil on an n x n grid (SPD, the classic Poisson
+/// matrix; dimension n*n). Used by MG, AMG and the fluid pressure solve.
+[[nodiscard]] Csr poisson2d(std::size_t n);
+
+/// 7-point Laplacian on an n x n x n grid (dimension n^3).
+[[nodiscard]] Csr poisson3d(std::size_t n);
+
+/// Random sparse strictly-diagonally-dominant SPD matrix of given dimension
+/// and expected off-diagonal nnz per row. Mirrors the NPB CG generator's
+/// spirit: random pattern, SPD by construction.
+[[nodiscard]] Csr random_spd(std::size_t dim, std::size_t nnz_per_row, Rng& rng);
+
+/// Random rectangular sparse matrix with given density in (0, 1].
+[[nodiscard]] Csr random_sparse(std::size_t rows, std::size_t cols, double density, Rng& rng);
+
+/// 1-D mass-like tridiagonal SPD matrix (Laghos velocity-mass substitute),
+/// with per-element weights jittered by the Rng.
+[[nodiscard]] Csr tridiagonal_mass(std::size_t dim, Rng& rng);
+
+/// Random right-hand side with entries in [-1, 1].
+[[nodiscard]] std::vector<double> random_rhs(std::size_t dim, Rng& rng);
+
+}  // namespace ahn::sparse

@@ -1,0 +1,34 @@
+#pragma once
+// Sparse kernels: SpMV (the workhorse of CG/MG/AMG) and sparse-times-dense
+// SpMM (the autoencoder's sparse first layer — the paper's "TensorFlow
+// embedding API" equivalent, consuming CSR directly with no densification).
+
+#include <span>
+
+#include "sparse/formats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ahn::sparse {
+
+/// y = A * x. Overwrites y. OpenMP-parallel over rows.
+void spmv(const Csr& a, std::span<const double> x, std::span<double> y);
+
+/// Returns A * x as a fresh vector.
+[[nodiscard]] std::vector<double> spmv(const Csr& a, std::span<const double> x);
+
+/// y = A^T * x without forming the transpose (serial scatter).
+void spmv_transpose(const Csr& a, std::span<const double> x, std::span<double> y);
+
+/// C = A * B where A is CSR (m x k) and B is dense (k x n). This is the
+/// sparse-input path: B never needs A in dense form, so the 14x dense
+/// blow-up the paper measures for NPB CG inputs is avoided entirely.
+[[nodiscard]] Tensor spmm(const Csr& a, const Tensor& b);
+
+/// C = X * W where X is a *batch of sparse rows* (CSR, batch x features) and
+/// W is a dense weight matrix (features x units). Identical math to spmm but
+/// named for its role as the NN sparse first layer.
+[[nodiscard]] inline Tensor sparse_input_matmul(const Csr& x, const Tensor& w) {
+  return spmm(x, w);
+}
+
+}  // namespace ahn::sparse

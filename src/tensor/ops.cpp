@@ -1,0 +1,180 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+#include "common/flops.hpp"
+
+namespace ahn::ops {
+
+namespace {
+
+void count_gemm(std::size_t m, std::size_t n, std::size_t k) noexcept {
+  OpCounts c;
+  c.flops = 2ULL * m * n * k;
+  c.bytes_read = sizeof(double) * (m * k + k * n);
+  c.bytes_written = sizeof(double) * (m * n);
+  FlopCounter::instance().add(c);
+}
+
+void count_elementwise(std::size_t n, std::uint64_t flops_per_elem) noexcept {
+  OpCounts c;
+  c.flops = flops_per_elem * n;
+  c.bytes_read = 2 * sizeof(double) * n;
+  c.bytes_written = sizeof(double) * n;
+  FlopCounter::instance().add(c);
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  AHN_CHECK(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  AHN_CHECK_MSG(b.rows() == k, "matmul inner dims: " << k << " vs " << b.rows());
+  Tensor c({m, n});
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t l = 0; l < k; ++l) {
+      const double av = pa[i * k + l];
+      const double* brow = pb + l * n;
+      double* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  count_gemm(m, n, k);
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  AHN_CHECK(a.rank() == 2 && b.rank() == 2);
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  AHN_CHECK_MSG(b.cols() == k, "matmul_nt inner dims");
+  Tensor c({m, n});
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      const double* ar = a.data() + i * k;
+      const double* br = b.data() + j * k;
+      for (std::size_t l = 0; l < k; ++l) s += ar[l] * br[l];
+      c.at(i, j) = s;
+    }
+  }
+  count_gemm(m, n, k);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  AHN_CHECK(a.rank() == 2 && b.rank() == 2);
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  AHN_CHECK_MSG(b.rows() == k, "matmul_tn inner dims");
+  Tensor c({m, n});
+  for (std::size_t l = 0; l < k; ++l) {
+    const double* ar = a.data() + l * m;
+    const double* br = b.data() + l * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = ar[i];
+      double* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * br[j];
+    }
+  }
+  count_gemm(m, n, k);
+  return c;
+}
+
+Tensor matvec(const Tensor& a, const Tensor& x) {
+  AHN_CHECK(a.rank() == 2 && x.rank() == 1);
+  const std::size_t m = a.rows(), n = a.cols();
+  AHN_CHECK(x.size() == n);
+  Tensor y({m});
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    y[i] = dot(a.row(i), x.flat());
+  }
+  count_gemm(m, 1, n);
+  return y;
+}
+
+void axpy(double alpha, const Tensor& x, Tensor& y) {
+  AHN_CHECK(x.size() == y.size());
+  const double* px = x.data();
+  double* py = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) py[i] += alpha * px[i];
+  count_elementwise(x.size(), 2);
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  AHN_CHECK(a.size() == b.size());
+  Tensor c = a;
+  axpy(1.0, b, c);
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  AHN_CHECK(a.size() == b.size());
+  Tensor c = a;
+  axpy(-1.0, b, c);
+  return c;
+}
+
+Tensor hadamard(const Tensor& a, const Tensor& b) {
+  AHN_CHECK(a.size() == b.size());
+  Tensor c = a;
+  double* pc = c.data();
+  const double* pb = b.data();
+  for (std::size_t i = 0; i < c.size(); ++i) pc[i] *= pb[i];
+  count_elementwise(a.size(), 1);
+  return c;
+}
+
+void scale(Tensor& t, double alpha) noexcept {
+  for (auto& x : t.flat()) x *= alpha;
+}
+
+void add_row_bias(Tensor& t, const Tensor& bias) {
+  AHN_CHECK(t.rank() == 2 && bias.rank() == 1 && bias.size() == t.cols());
+  const std::size_t rows = t.rows(), cols = t.cols();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = t.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+  count_elementwise(rows * cols, 1);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  AHN_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double sum(const Tensor& t) noexcept {
+  double s = 0.0;
+  for (double x : t.flat()) s += x;
+  return s;
+}
+
+double max_abs(const Tensor& t) noexcept {
+  double m = 0.0;
+  for (double x : t.flat()) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Tensor transpose(const Tensor& t) {
+  AHN_CHECK(t.rank() == 2);
+  Tensor out({t.cols(), t.rows()});
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    for (std::size_t c = 0; c < t.cols(); ++c) out.at(c, r) = t.at(r, c);
+  }
+  return out;
+}
+
+}  // namespace ahn::ops

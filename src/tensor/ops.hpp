@@ -1,0 +1,52 @@
+#pragma once
+// Dense BLAS-like kernels on Tensor. These are the compute primitives of the
+// neural-network stack; every kernel reports analytic FLOP counts through
+// FlopCounter so the device model can convert surrogate inference into
+// modeled accelerator time (Table 3 methodology).
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace ahn::ops {
+
+/// C = A * B for rank-2 tensors (m x k) * (k x n). OpenMP-parallel over rows.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T, (m x k) * (n x k)^T -> (m x n). Used by backprop.
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B, (k x m)^T * (k x n) -> (m x n). Used by backprop.
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// y = A * x for rank-2 A and rank-1 x.
+[[nodiscard]] Tensor matvec(const Tensor& a, const Tensor& x);
+
+/// y += alpha * x (same shape).
+void axpy(double alpha, const Tensor& x, Tensor& y);
+
+/// Elementwise sum/diff/product (same shape).
+[[nodiscard]] Tensor add(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor sub(const Tensor& a, const Tensor& b);
+[[nodiscard]] Tensor hadamard(const Tensor& a, const Tensor& b);
+
+/// Scales in place.
+void scale(Tensor& t, double alpha) noexcept;
+
+/// Adds a rank-1 bias to every row of a rank-2 tensor (broadcast).
+void add_row_bias(Tensor& t, const Tensor& bias);
+
+/// Dot product of two rank-1 tensors / flat views.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm of the flat data.
+[[nodiscard]] double norm2(std::span<const double> v);
+
+/// Sum / max of all elements.
+[[nodiscard]] double sum(const Tensor& t) noexcept;
+[[nodiscard]] double max_abs(const Tensor& t) noexcept;
+
+/// Transposes a rank-2 tensor.
+[[nodiscard]] Tensor transpose(const Tensor& t);
+
+}  // namespace ahn::ops

@@ -1,0 +1,30 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+
+namespace ahn {
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, double scale) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = rng.gaussian() * scale;
+  return t;
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, double value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << "x";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace ahn

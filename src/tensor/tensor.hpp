@@ -1,0 +1,127 @@
+#pragma once
+// Row-major dense tensor. This is the numeric substrate the neural-network
+// stack (src/nn), the autoencoder and the Gaussian process are built on —
+// the reproduction uses no external ML framework.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ahn {
+
+/// Dense double-precision tensor with row-major layout.
+///
+/// Rank is dynamic (shape is a runtime vector) because the NAS explores
+/// architectures whose intermediate shapes are not known at compile time.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<std::size_t> shape)
+      : shape_(std::move(shape)), data_(count(shape_), 0.0) {}
+
+  Tensor(std::vector<std::size_t> shape, std::vector<double> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    AHN_CHECK_MSG(data_.size() == count(shape_),
+                  "tensor data size " << data_.size() << " != shape volume " << count(shape_));
+  }
+
+  /// 1-D convenience constructor.
+  static Tensor vector1d(std::vector<double> data) {
+    const std::size_t n = data.size();
+    return Tensor({n}, std::move(data));
+  }
+
+  /// Matrix filled with i.i.d. Gaussian entries scaled by `scale`
+  /// (used for Xavier/He weight initialization in src/nn).
+  static Tensor randn(std::vector<std::size_t> shape, Rng& rng, double scale = 1.0);
+
+  /// All-zero / constant tensors.
+  static Tensor zeros(std::vector<std::size_t> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<std::size_t> shape, double value);
+
+  [[nodiscard]] const std::vector<std::size_t>& shape() const noexcept { return shape_; }
+  [[nodiscard]] std::size_t rank() const noexcept { return shape_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] std::size_t dim(std::size_t i) const {
+    AHN_CHECK(i < shape_.size());
+    return shape_[i];
+  }
+
+  /// Rows/cols accessors for the common rank-2 case.
+  [[nodiscard]] std::size_t rows() const {
+    AHN_CHECK(rank() == 2);
+    return shape_[0];
+  }
+  [[nodiscard]] std::size_t cols() const {
+    AHN_CHECK(rank() == 2);
+    return shape_[1];
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<double> flat() noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::span<const double> flat() const noexcept {
+    return {data_.data(), data_.size()};
+  }
+
+  double& operator[](std::size_t i) {
+    AHN_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](std::size_t i) const {
+    AHN_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// Rank-2 element access.
+  double& at(std::size_t r, std::size_t c) {
+    AHN_DCHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    AHN_DCHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Reshape without copying; volume must match.
+  void reshape(std::vector<std::size_t> shape) {
+    AHN_CHECK_MSG(count(shape) == data_.size(), "reshape volume mismatch");
+    shape_ = std::move(shape);
+  }
+
+  /// Returns the row `r` of a rank-2 tensor as a span (no copy).
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    AHN_CHECK(rank() == 2 && r < shape_[0]);
+    return {data_.data() + r * shape_[1], shape_[1]};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    AHN_CHECK(rank() == 2 && r < shape_[0]);
+    return {data_.data() + r * shape_[1], shape_[1]};
+  }
+
+  void fill(double v) noexcept {
+    for (auto& x : data_) x = v;
+  }
+
+  [[nodiscard]] std::string shape_string() const;
+
+  [[nodiscard]] static std::size_t count(const std::vector<std::size_t>& shape) noexcept {
+    std::size_t n = 1;
+    for (std::size_t d : shape) n *= d;
+    return shape.empty() ? 0 : n;
+  }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace ahn

@@ -1,0 +1,83 @@
+#include "trace/features.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ahn::trace {
+
+FeatureReport identify_features(const TraceRecorder& rec, const Dddg& dddg) {
+  AHN_CHECK_MSG(!rec.in_region(), "identify_features requires a finished region");
+  FeatureReport rep;
+
+  const auto& read_after = rec.read_after_region();
+  const auto& overwritten = rec.overwritten_after_region();
+  bool any_post_region_access = false;
+  for (std::size_t v = 0; v < rec.variable_count(); ++v) {
+    if (read_after[v] || overwritten[v]) any_post_region_access = true;
+  }
+
+  for (std::size_t i = 0; i < rec.variable_count(); ++i) {
+    const auto v = static_cast<VarId>(i);
+    const Variable& var = rec.variable(v);
+    const bool touched = dddg.loaded_vars().contains(v) || dddg.stored_vars().contains(v);
+    if (!touched) continue;
+
+    // Input: declared outside the region with an upward-exposed read (DDDG
+    // root). Array grouping is implicit: v names the whole array.
+    const bool is_input = var.declared_outside && dddg.root_vars().contains(v);
+
+    // Output: stored inside the region and live afterwards. Liveness comes
+    // from observed post-region reads; when the caller recorded no
+    // post-region accesses at all, fall back to the DDDG leaf set (§3.1:
+    // "only taking the outputs from the DDDG is not sufficient" — hence the
+    // liveness + use-def combination when the information exists).
+    bool is_output = false;
+    if (dddg.stored_vars().contains(v) && var.declared_outside) {
+      if (any_post_region_access) {
+        is_output = read_after[i] && !overwritten[i];
+      } else {
+        is_output = dddg.leaf_vars().contains(v);
+      }
+    }
+
+    if (is_input) {
+      rep.inputs.push_back(v);
+      rep.input_width += var.size;
+    }
+    if (is_output) {
+      rep.outputs.push_back(v);
+      rep.output_width += var.size;
+    }
+    if (!is_input && !is_output) rep.internals.push_back(v);
+  }
+
+  std::sort(rep.inputs.begin(), rep.inputs.end());
+  std::sort(rep.outputs.begin(), rep.outputs.end());
+  std::sort(rep.internals.begin(), rep.internals.end());
+  return rep;
+}
+
+FeatureReport identify_features(const TraceRecorder& rec) {
+  return identify_features(rec, Dddg::build(rec));
+}
+
+std::string FeatureReport::describe(const TraceRecorder& rec) const {
+  std::ostringstream os;
+  auto emit = [&](const char* label, const std::vector<VarId>& vars) {
+    os << label << ": ";
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+      if (i) os << ", ";
+      const Variable& v = rec.variable(vars[i]);
+      os << v.name;
+      if (v.size > 1) os << "[" << v.size << "]";
+    }
+    os << "\n";
+  };
+  emit("inputs", inputs);
+  emit("outputs", outputs);
+  emit("internals", internals);
+  os << "input_width=" << input_width << " output_width=" << output_width;
+  return os.str();
+}
+
+}  // namespace ahn::trace

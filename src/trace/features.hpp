@@ -1,0 +1,38 @@
+#pragma once
+// Input/output variable identification (§3.1 Step 2) combining the DDDG
+// root/leaf sets with liveness information from the recorder (reads after
+// the region) and the declared-outside attribute. Implements the paper's
+// array-grouping rule: a variable is a whole array, so features never split
+// arrays into unrelated scalars.
+
+#include <string>
+#include <vector>
+
+#include "trace/dddg.hpp"
+#include "trace/recorder.hpp"
+
+namespace ahn::trace {
+
+struct FeatureReport {
+  /// Variables the surrogate must take as input features (declared outside
+  /// the region, upward-exposed read inside).
+  std::vector<VarId> inputs;
+  /// Variables the surrogate must produce (stored in the region, live-out).
+  std::vector<VarId> outputs;
+  /// Region-local scratch (neither input nor output).
+  std::vector<VarId> internals;
+
+  /// Flattened feature widths after array grouping (sum of array sizes).
+  std::size_t input_width = 0;
+  std::size_t output_width = 0;
+
+  [[nodiscard]] std::string describe(const TraceRecorder& rec) const;
+};
+
+/// Runs the identification pipeline on a finished region trace.
+[[nodiscard]] FeatureReport identify_features(const TraceRecorder& rec, const Dddg& dddg);
+
+/// Convenience: trace -> DDDG -> report.
+[[nodiscard]] FeatureReport identify_features(const TraceRecorder& rec);
+
+}  // namespace ahn::trace

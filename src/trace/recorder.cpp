@@ -1,0 +1,180 @@
+#include "trace/recorder.hpp"
+
+namespace ahn::trace {
+
+const char* op_kind_name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::Load: return "load";
+    case OpKind::Store: return "store";
+    case OpKind::Add: return "add";
+    case OpKind::Sub: return "sub";
+    case OpKind::Mul: return "mul";
+    case OpKind::Div: return "div";
+    case OpKind::Neg: return "neg";
+    case OpKind::Sqrt: return "sqrt";
+    case OpKind::Abs: return "abs";
+    case OpKind::Cmp: return "cmp";
+    case OpKind::Const: return "const";
+  }
+  return "?";
+}
+
+VarId TraceRecorder::declare(std::string name, std::size_t size, bool declared_outside) {
+  AHN_CHECK(size >= 1);
+  vars_.push_back(Variable{std::move(name), size, declared_outside});
+  read_after_region_.push_back(false);
+  overwritten_after_region_.push_back(false);
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+void TraceRecorder::begin_region() {
+  AHN_CHECK_MSG(!in_region_ && !region_done_, "region directives must nest once");
+  in_region_ = true;
+}
+
+void TraceRecorder::end_region() {
+  AHN_CHECK_MSG(in_region_, "end_region without begin_region");
+  AHN_CHECK_MSG(loops_.empty(), "end_region inside an open loop");
+  in_region_ = false;
+  region_done_ = true;
+}
+
+void TraceRecorder::begin_loop() {
+  if (!in_region_) return;
+  LoopFrame f;
+  f.first_iter_begin = trace_.size();
+  f.iter_begin = trace_.size();
+  loops_.push_back(std::move(f));
+}
+
+void TraceRecorder::end_loop_iteration() {
+  if (!in_region_ || loops_.empty()) return;
+  LoopFrame& f = loops_.back();
+  if (f.in_first_iteration) {
+    f.in_first_iteration = false;
+    f.iter_begin = trace_.size();
+    f.current_signature.clear();
+    return;
+  }
+  if (f.compressible && f.current_signature == f.first_signature) {
+    // Same control flow and same touched variables as the first iteration:
+    // drop this iteration's stored instructions (§3.1 Step 1 optimization).
+    trace_.resize(f.iter_begin);
+    ++f.elided_iterations;
+  } else {
+    f.compressible = false;
+  }
+  f.iter_begin = trace_.size();
+  f.current_signature.clear();
+}
+
+void TraceRecorder::end_loop() {
+  if (!in_region_ || loops_.empty()) return;
+  loops_.pop_back();
+  if (!loops_.empty()) {
+    // Parent sees the whole inner loop as one structural token so elision in
+    // the inner loop does not desynchronize the parent's shape signature.
+    loops_.back().current_signature.push_back(0xB00B5EA1F00DULL);
+    if (loops_.back().in_first_iteration) {
+      loops_.back().first_signature.push_back(0xB00B5EA1F00DULL);
+    }
+  }
+}
+
+void TraceRecorder::note_shape(OpKind kind, VarId var) {
+  if (loops_.empty()) return;
+  LoopFrame& f = loops_.back();
+  const std::uint64_t token =
+      (static_cast<std::uint64_t>(kind) << 32) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(var + 1));
+  if (f.in_first_iteration) {
+    f.first_signature.push_back(token);
+  } else {
+    f.current_signature.push_back(token);
+  }
+}
+
+ValueId TraceRecorder::push(Instruction inst) {
+  const ValueId id = inst.kind == OpKind::Store ? kNoValue : next_value_++;
+  if (inst.kind != OpKind::Store) inst.result = id;
+  if (in_region_) {
+    ++total_region_instructions_;
+    note_shape(inst.kind, inst.var);
+    trace_.push_back(inst);
+  }
+  return id;
+}
+
+ValueId TraceRecorder::record_load(VarId var, std::size_t elem, double value) {
+  AHN_DCHECK(var >= 0 && static_cast<std::size_t>(var) < vars_.size());
+  if (region_done_ && !in_region_) {
+    const auto v = static_cast<std::size_t>(var);
+    if (!overwritten_after_region_[v]) read_after_region_[v] = true;
+    return next_value_++;
+  }
+  Instruction inst;
+  inst.kind = OpKind::Load;
+  inst.var = var;
+  inst.elem = elem;
+  inst.value = value;
+  return push(inst);
+}
+
+void TraceRecorder::record_store(VarId var, std::size_t elem, ValueId src, double value) {
+  AHN_DCHECK(var >= 0 && static_cast<std::size_t>(var) < vars_.size());
+  if (region_done_ && !in_region_) {
+    const auto v = static_cast<std::size_t>(var);
+    // A full overwrite kills liveness only for scalars; for arrays we keep
+    // the conservative answer (still live) unless the first post-region
+    // access is a store to the same scalar.
+    if (vars_[v].size == 1 && !read_after_region_[v]) {
+      overwritten_after_region_[v] = true;
+    }
+    return;
+  }
+  Instruction inst;
+  inst.kind = OpKind::Store;
+  inst.var = var;
+  inst.elem = elem;
+  inst.lhs = src;
+  inst.value = value;
+  push(inst);
+}
+
+ValueId TraceRecorder::record_binary(OpKind kind, ValueId lhs, ValueId rhs, double value) {
+  Instruction inst;
+  inst.kind = kind;
+  inst.lhs = lhs;
+  inst.rhs = rhs;
+  inst.value = value;
+  return push(inst);
+}
+
+ValueId TraceRecorder::record_unary(OpKind kind, ValueId operand, double value) {
+  Instruction inst;
+  inst.kind = kind;
+  inst.lhs = operand;
+  inst.value = value;
+  return push(inst);
+}
+
+ValueId TraceRecorder::record_const(double value) {
+  Instruction inst;
+  inst.kind = OpKind::Const;
+  inst.value = value;
+  return push(inst);
+}
+
+void TraceRecorder::clear() {
+  vars_.clear();
+  trace_.clear();
+  loops_.clear();
+  read_after_region_.clear();
+  overwritten_after_region_.clear();
+  next_value_ = 0;
+  total_region_instructions_ = 0;
+  in_region_ = false;
+  region_done_ = false;
+}
+
+}  // namespace ahn::trace

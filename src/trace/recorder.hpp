@@ -1,0 +1,139 @@
+#pragma once
+// Dynamic instruction trace recording — the reproduction's stand-in for the
+// paper's LLVM-Tracer instrumentation pass (§3.1 Step 1).
+//
+// Instead of instrumenting LLVM IR load/store instructions, application code
+// regions execute against TracedScalar/TracedArray handles (trace/traced.hpp)
+// that record every load, store and arithmetic op into this recorder,
+// producing the same artifact the paper's tooling consumes: a dynamic trace
+// whose entries carry instruction kind, operand value ids and operand values.
+//
+// The recorder implements the paper's trace-size optimization: inside a
+// marked loop, iterations whose instruction shape (op kinds + touched
+// variables) repeats the first iteration are counted but not stored.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ahn::trace {
+
+using VarId = std::int32_t;
+using ValueId = std::int64_t;
+
+inline constexpr VarId kNoVar = -1;
+inline constexpr ValueId kNoValue = -1;
+
+enum class OpKind : std::uint8_t {
+  Load, Store, Add, Sub, Mul, Div, Neg, Sqrt, Abs, Cmp, Const
+};
+
+[[nodiscard]] const char* op_kind_name(OpKind k) noexcept;
+
+/// One dynamic instruction. Mirrors LLVM-Tracer's per-instruction metadata:
+/// instruction type, operand registers (value ids) and operand values.
+struct Instruction {
+  OpKind kind = OpKind::Const;
+  ValueId result = kNoValue;   ///< value id produced (kNoValue for stores)
+  ValueId lhs = kNoValue;      ///< first operand value id
+  ValueId rhs = kNoValue;      ///< second operand value id
+  VarId var = kNoVar;          ///< variable for Load/Store
+  std::size_t elem = 0;        ///< element index for Load/Store
+  double value = 0.0;          ///< produced/stored runtime value
+};
+
+/// Variable registered with the recorder (a scalar is an array of size 1).
+struct Variable {
+  std::string name;
+  std::size_t size = 1;
+  bool declared_outside = false;  ///< declared before the code region
+};
+
+class TraceRecorder {
+ public:
+  /// Registers a variable. `declared_outside` marks variables that exist
+  /// before the code region begins (candidate inputs/outputs).
+  VarId declare(std::string name, std::size_t size, bool declared_outside);
+
+  [[nodiscard]] const Variable& variable(VarId v) const {
+    AHN_CHECK(v >= 0 && static_cast<std::size_t>(v) < vars_.size());
+    return vars_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] std::size_t variable_count() const noexcept { return vars_.size(); }
+
+  /// Region annotation (the paper's two user directives, §6.1).
+  void begin_region();
+  void end_region();
+  [[nodiscard]] bool in_region() const noexcept { return in_region_; }
+
+  /// Loop-structure hints enabling trace compression (§3.1 Step 1).
+  void begin_loop();
+  void end_loop_iteration();
+  void end_loop();
+
+  // -- recording (called by TracedScalar/TracedArray) --
+  ValueId record_load(VarId var, std::size_t elem, double value);
+  void record_store(VarId var, std::size_t elem, ValueId src, double value);
+  ValueId record_binary(OpKind kind, ValueId lhs, ValueId rhs, double value);
+  ValueId record_unary(OpKind kind, ValueId operand, double value);
+  ValueId record_const(double value);
+
+  /// Stored region-trace (possibly loop-compressed).
+  [[nodiscard]] const std::vector<Instruction>& instructions() const noexcept {
+    return trace_;
+  }
+
+  /// Total dynamic instructions executed in-region (including those elided
+  /// by loop compression); compression ratio = total / stored.
+  [[nodiscard]] std::uint64_t total_region_instructions() const noexcept {
+    return total_region_instructions_;
+  }
+  [[nodiscard]] double compression_ratio() const noexcept {
+    return trace_.empty()
+               ? 1.0
+               : static_cast<double>(total_region_instructions_) /
+                     static_cast<double>(trace_.size());
+  }
+
+  /// Variables loaded after end_region() — the post-region read set used by
+  /// liveness analysis to find live-out outputs.
+  [[nodiscard]] const std::vector<bool>& read_after_region() const noexcept {
+    return read_after_region_;
+  }
+  /// Variables stored after end_region() before being read (their in-region
+  /// value is dead even if read later).
+  [[nodiscard]] const std::vector<bool>& overwritten_after_region() const noexcept {
+    return overwritten_after_region_;
+  }
+
+  void clear();
+
+ private:
+  struct LoopFrame {
+    // Signature of the first iteration: (kind, var) pairs hashed.
+    std::vector<std::uint64_t> first_signature;
+    std::vector<std::uint64_t> current_signature;
+    std::size_t first_iter_begin = 0;   ///< trace index of first iteration
+    std::size_t iter_begin = 0;         ///< trace index of current iteration
+    bool in_first_iteration = true;
+    bool compressible = true;
+    std::uint64_t elided_iterations = 0;
+  };
+
+  ValueId push(Instruction inst);
+  void note_shape(OpKind kind, VarId var);
+
+  std::vector<Variable> vars_;
+  std::vector<Instruction> trace_;
+  std::vector<LoopFrame> loops_;
+  std::vector<bool> read_after_region_;
+  std::vector<bool> overwritten_after_region_;
+  ValueId next_value_ = 0;
+  std::uint64_t total_region_instructions_ = 0;
+  bool in_region_ = false;
+  bool region_done_ = false;
+};
+
+}  // namespace ahn::trace

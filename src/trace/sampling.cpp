@@ -1,0 +1,40 @@
+#include "trace/sampling.hpp"
+
+#include <cmath>
+
+namespace ahn::trace {
+
+nn::Dataset generate_samples(const RegionFn& region, const std::vector<double>& base_input,
+                             std::size_t n, const PerturbationSpec& spec, Rng& rng) {
+  AHN_CHECK(n >= 1 && !base_input.empty());
+
+  std::vector<std::vector<double>> xs, ys;
+  xs.reserve(n);
+  ys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x = base_input;
+    for (double& v : x) {
+      const double sigma = std::max(spec.sigma * std::abs(v), spec.floor_sigma);
+      switch (spec.kind) {
+        case PerturbationKind::Gaussian: v = rng.gaussian(v, sigma); break;
+        case PerturbationKind::Uniform: v = rng.uniform(v - sigma, v + sigma); break;
+      }
+    }
+    std::vector<double> y = region(x);
+    AHN_CHECK_MSG(!y.empty(), "region returned no outputs");
+    if (!ys.empty()) AHN_CHECK_MSG(y.size() == ys.front().size(), "ragged region outputs");
+    xs.push_back(std::move(x));
+    ys.push_back(std::move(y));
+  }
+
+  nn::Dataset data;
+  data.x = Tensor({n, xs.front().size()});
+  data.y = Tensor({n, ys.front().size()});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(xs[i].begin(), xs[i].end(), data.x.row(i).begin());
+    std::copy(ys[i].begin(), ys[i].end(), data.y.row(i).begin());
+  }
+  return data;
+}
+
+}  // namespace ahn::trace

@@ -1,0 +1,32 @@
+#pragma once
+// Training-sample generation (§3.1 Step 3): run the code region N times
+// under Gaussian (or uniform) perturbation of its input features and record
+// (input, output) pairs as the surrogate training set.
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/train.hpp"
+
+namespace ahn::trace {
+
+/// The code region as a pure function over its identified features:
+/// flattened inputs -> flattened outputs (widths from the FeatureReport).
+using RegionFn = std::function<std::vector<double>(const std::vector<double>&)>;
+
+enum class PerturbationKind { Gaussian, Uniform };
+
+struct PerturbationSpec {
+  PerturbationKind kind = PerturbationKind::Gaussian;
+  double sigma = 0.1;       ///< Gaussian: stddev as a fraction of |base value|
+  double floor_sigma = 0.01;///< absolute stddev floor for near-zero features
+};
+
+/// Generates `n` samples: X' ~ N(mu=base, sigma) per §3.1, evaluating the
+/// region on each perturbed input.
+[[nodiscard]] nn::Dataset generate_samples(const RegionFn& region,
+                                           const std::vector<double>& base_input,
+                                           std::size_t n, const PerturbationSpec& spec,
+                                           Rng& rng);
+
+}  // namespace ahn::trace

@@ -1,0 +1,182 @@
+#pragma once
+// Traced value handles. Code regions written against these types execute
+// normally AND emit the dynamic instruction trace — the functional equivalent
+// of running an LLVM-instrumented binary (§3.1).
+//
+//   TraceRecorder rec;
+//   TracedArray a(rec, "A", 100, /*outside=*/true);
+//   TracedScalar s(rec, "sum", /*outside=*/true);
+//   rec.begin_region();
+//   rec.begin_loop();
+//   for (int i = 0; i < 100; ++i) { s = s + a[i]; rec.end_loop_iteration(); }
+//   rec.end_loop();
+//   rec.end_region();
+
+#include <cmath>
+#include <vector>
+
+#include "trace/recorder.hpp"
+
+namespace ahn::trace {
+
+/// SSA-like rvalue: a runtime double plus the trace value id that produced it.
+struct TracedValue {
+  double v = 0.0;
+  ValueId id = kNoValue;
+  TraceRecorder* rec = nullptr;
+
+  TracedValue() = default;
+  TracedValue(double value, ValueId value_id, TraceRecorder& recorder) noexcept
+      : v(value), id(value_id), rec(&recorder) {}
+
+  /// Lifts a literal constant into the trace.
+  static TracedValue constant(TraceRecorder& rec, double value) {
+    return {value, rec.record_const(value), rec};
+  }
+};
+
+namespace detail {
+inline TracedValue binary(OpKind k, const TracedValue& a, const TracedValue& b,
+                          double result) {
+  AHN_DCHECK(a.rec != nullptr && a.rec == b.rec);
+  return {result, a.rec->record_binary(k, a.id, b.id, result), *a.rec};
+}
+}  // namespace detail
+
+inline TracedValue operator+(const TracedValue& a, const TracedValue& b) {
+  return detail::binary(OpKind::Add, a, b, a.v + b.v);
+}
+inline TracedValue operator-(const TracedValue& a, const TracedValue& b) {
+  return detail::binary(OpKind::Sub, a, b, a.v - b.v);
+}
+inline TracedValue operator*(const TracedValue& a, const TracedValue& b) {
+  return detail::binary(OpKind::Mul, a, b, a.v * b.v);
+}
+inline TracedValue operator/(const TracedValue& a, const TracedValue& b) {
+  return detail::binary(OpKind::Div, a, b, a.v / b.v);
+}
+inline TracedValue operator-(const TracedValue& a) {
+  AHN_DCHECK(a.rec != nullptr);
+  return {-a.v, a.rec->record_unary(OpKind::Neg, a.id, -a.v), *a.rec};
+}
+inline TracedValue tsqrt(const TracedValue& a) {
+  AHN_DCHECK(a.rec != nullptr);
+  const double r = std::sqrt(a.v);
+  return {r, a.rec->record_unary(OpKind::Sqrt, a.id, r), *a.rec};
+}
+inline TracedValue tabs(const TracedValue& a) {
+  AHN_DCHECK(a.rec != nullptr);
+  const double r = std::abs(a.v);
+  return {r, a.rec->record_unary(OpKind::Abs, a.id, r), *a.rec};
+}
+inline bool operator<(const TracedValue& a, const TracedValue& b) {
+  (void)detail::binary(OpKind::Cmp, a, b, a.v < b.v ? 1.0 : 0.0);
+  return a.v < b.v;
+}
+
+/// Named scalar variable; loads/stores are recorded.
+class TracedScalar {
+ public:
+  TracedScalar(TraceRecorder& rec, std::string name, bool declared_outside,
+               double init = 0.0)
+      : rec_(&rec), var_(rec.declare(std::move(name), 1, declared_outside)),
+        value_(init) {}
+
+  /// Read: records a load.
+  [[nodiscard]] TracedValue get() const {
+    return {value_, rec_->record_load(var_, 0, value_), *rec_};
+  }
+  operator TracedValue() const { return get(); }  // NOLINT(google-explicit-constructor)
+
+  /// Write: records a store.
+  TracedScalar& operator=(const TracedValue& rhs) {
+    value_ = rhs.v;
+    rec_->record_store(var_, 0, rhs.id, rhs.v);
+    return *this;
+  }
+  TracedScalar& operator=(double rhs) { return *this = TracedValue::constant(*rec_, rhs); }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] VarId var() const noexcept { return var_; }
+
+ private:
+  TraceRecorder* rec_;
+  VarId var_;
+  double value_;
+};
+
+/// Named array variable; element accesses are recorded with their index.
+class TracedArray {
+ public:
+  TracedArray(TraceRecorder& rec, std::string name, std::size_t size,
+              bool declared_outside)
+      : rec_(&rec), var_(rec.declare(std::move(name), size, declared_outside)),
+        data_(size, 0.0) {}
+
+  TracedArray(TraceRecorder& rec, std::string name, std::vector<double> init,
+              bool declared_outside)
+      : rec_(&rec), var_(rec.declare(std::move(name), init.size(), declared_outside)),
+        data_(std::move(init)) {}
+
+  class ElementRef {
+   public:
+    ElementRef(TracedArray& arr, std::size_t i) noexcept : arr_(arr), i_(i) {}
+
+    /// Read access.
+    [[nodiscard]] TracedValue get() const {
+      return {arr_.data_[i_], arr_.rec_->record_load(arr_.var_, i_, arr_.data_[i_]),
+              *arr_.rec_};
+    }
+    operator TracedValue() const { return get(); }  // NOLINT(google-explicit-constructor)
+
+    /// Write access.
+    ElementRef& operator=(const TracedValue& rhs) {
+      arr_.data_[i_] = rhs.v;
+      arr_.rec_->record_store(arr_.var_, i_, rhs.id, rhs.v);
+      return *this;
+    }
+    ElementRef& operator=(double rhs) {
+      return *this = TracedValue::constant(*arr_.rec_, rhs);
+    }
+
+   private:
+    TracedArray& arr_;
+    std::size_t i_;
+  };
+
+  [[nodiscard]] ElementRef operator[](std::size_t i) {
+    AHN_DCHECK(i < data_.size());
+    return {*this, i};
+  }
+  [[nodiscard]] TracedValue operator[](std::size_t i) const {
+    AHN_DCHECK(i < data_.size());
+    return {data_[i], rec_->record_load(var_, i, data_[i]), *rec_};
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] VarId var() const noexcept { return var_; }
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return data_; }
+  [[nodiscard]] std::vector<double>& raw() noexcept { return data_; }
+
+ private:
+  friend class ElementRef;
+  TraceRecorder* rec_;
+  VarId var_;
+  std::vector<double> data_;
+};
+
+/// Arithmetic between TracedValue and plain doubles (lifted as constants).
+inline TracedValue operator+(const TracedValue& a, double b) {
+  return a + TracedValue::constant(*a.rec, b);
+}
+inline TracedValue operator*(const TracedValue& a, double b) {
+  return a * TracedValue::constant(*a.rec, b);
+}
+inline TracedValue operator*(double a, const TracedValue& b) {
+  return TracedValue::constant(*b.rec, a) * b;
+}
+inline TracedValue operator-(double a, const TracedValue& b) {
+  return TracedValue::constant(*b.rec, a) - b;
+}
+
+}  // namespace ahn::trace

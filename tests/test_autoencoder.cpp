@@ -1,0 +1,211 @@
+// Tests for src/autoencoder: the Eqn-1 quality metric, hourglass shape,
+// dense/sparse training parity, error-bounded early stop, gradient
+// checkpointing inside AE training, and compression-quality monotonicity.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "autoencoder/autoencoder.hpp"
+#include "sparse/generators.hpp"
+
+namespace ahn::autoencoder {
+namespace {
+
+Tensor correlated_data(std::size_t n, std::size_t dim, std::size_t rank, Rng& rng) {
+  // Low-rank data: AE with latent >= rank can reconstruct well.
+  const Tensor basis = Tensor::randn({rank, dim}, rng);
+  Tensor data({n, dim});
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> coeff(rank);
+    for (auto& c : coeff) c = rng.uniform(-1.0, 1.0);
+    for (std::size_t j = 0; j < dim; ++j) {
+      double v = 0.0;
+      for (std::size_t r = 0; r < rank; ++r) v += coeff[r] * basis.at(r, j);
+      data.at(i, j) = v;
+    }
+  }
+  return data;
+}
+
+TEST(Eqn1, ZeroWhenIdenticalOneWhenFar) {
+  const Tensor x({1, 4}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(relative_miss_fraction(x, x, 0.1), 0.0);
+  const Tensor y({1, 4}, {10.0, 20.0, 30.0, 40.0});
+  EXPECT_EQ(relative_miss_fraction(x, y, 0.1), 1.0);
+}
+
+TEST(Eqn1, CountsOnlyOutOfToleranceElements) {
+  const Tensor x({1, 4}, {1.0, 1.0, 1.0, 1.0});
+  const Tensor y({1, 4}, {1.05, 1.5, 0.99, 1.0});
+  EXPECT_DOUBLE_EQ(relative_miss_fraction(x, y, 0.1), 0.25);
+}
+
+TEST(Eqn1, ZeroToleranceForSparseZeros) {
+  const Tensor x({1, 2}, {0.0, 0.0});
+  const Tensor y({1, 2}, {1e-8, 0.5});
+  // Default zero_tol 1e-6: the tiny deviation passes, the large one misses.
+  EXPECT_DOUBLE_EQ(relative_miss_fraction(x, y, 0.1), 0.5);
+}
+
+TEST(Autoencoder, LatentClampedToInputDim) {
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 100;
+  const Autoencoder ae(8, cfg);
+  EXPECT_EQ(ae.latent_dim(), 8u);
+}
+
+TEST(Autoencoder, EncodeProducesLatentWidth) {
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 3;
+  const Autoencoder ae(10, cfg);
+  Rng rng(1);
+  const Tensor x = Tensor::randn({5, 10}, rng);
+  const Tensor z = ae.encode(x);
+  EXPECT_EQ(z.rows(), 5u);
+  EXPECT_EQ(z.cols(), 3u);
+  const Tensor back = ae.decode(z);
+  EXPECT_EQ(back.cols(), 10u);
+}
+
+TEST(Autoencoder, LearnsLowRankStructure) {
+  Rng rng(2);
+  const Tensor data = correlated_data(150, 16, 3, rng);
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 6;
+  cfg.epochs = 200;
+  cfg.encoding_loss_bound = 0.35;
+  cfg.mu = 0.15;
+  Autoencoder ae(16, cfg);
+  const AutoencoderReport rep = ae.train(data);
+  EXPECT_LT(rep.miss_fraction, 0.6);
+  // Reconstruction must be far better than a zero prediction.
+  const Tensor recon = ae.reconstruct(data);
+  double err = 0.0, base = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    err += (recon[i] - data[i]) * (recon[i] - data[i]);
+    base += data[i] * data[i];
+  }
+  EXPECT_LT(err / base, 0.2);
+}
+
+TEST(Autoencoder, ErrorBoundedTrainingStopsEarlyWhenMet) {
+  Rng rng(3);
+  const Tensor data = correlated_data(100, 12, 2, rng);
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 8;
+  cfg.epochs = 400;
+  cfg.encoding_loss_bound = 0.9;  // trivially satisfiable bound
+  cfg.mu = 0.5;
+  Autoencoder ae(12, cfg);
+  const AutoencoderReport rep = ae.train(data);
+  EXPECT_TRUE(rep.meets_bound);
+  EXPECT_LT(rep.epochs_run, 400u);
+}
+
+TEST(Autoencoder, SparseEncodeMatchesDenseEncode) {
+  Rng rng(4);
+  const sparse::Csr xs = sparse::random_sparse(20, 30, 0.15, rng);
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 5;
+  cfg.epochs = 30;
+  Autoencoder ae(30, cfg);
+  (void)ae.train_sparse(xs);
+  const Tensor z_sparse = ae.encode_sparse(xs);
+  const Tensor z_dense = ae.encode(xs.to_dense());
+  ASSERT_EQ(z_sparse.size(), z_dense.size());
+  for (std::size_t i = 0; i < z_sparse.size(); ++i) {
+    EXPECT_NEAR(z_sparse[i], z_dense[i], 1e-9);
+  }
+}
+
+TEST(Autoencoder, CheckpointedTrainingWorks) {
+  Rng rng(5);
+  const Tensor data = correlated_data(60, 10, 2, rng);
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 4;
+  cfg.epochs = 50;
+  cfg.checkpoint_segments = 3;  // gradient checkpointing path
+  Autoencoder ae(10, cfg);
+  EXPECT_NO_THROW((void)ae.train(data));
+  EXPECT_LT(ae.evaluate(data), 1.01);
+}
+
+TEST(Autoencoder, LargerLatentReconstructsBetter) {
+  Rng rng(6);
+  const Tensor data = correlated_data(150, 20, 6, rng);
+  auto miss_at = [&](std::size_t k) {
+    AutoencoderConfig cfg;
+    cfg.latent_dim = k;
+    cfg.epochs = 120;
+    cfg.seed = 3;
+    Autoencoder ae(20, cfg);
+    (void)ae.train(data);
+    return ae.evaluate(data);
+  };
+  const double small = miss_at(2);
+  const double large = miss_at(12);
+  EXPECT_LE(large, small + 0.05);  // monotone-ish in capacity
+}
+
+TEST(Autoencoder, SaveLoadRoundTrip) {
+  Rng rng(8);
+  const Tensor data = correlated_data(60, 10, 2, rng);
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 4;
+  cfg.epochs = 40;
+  Autoencoder a(10, cfg);
+  (void)a.train(data);
+  std::stringstream ss;
+  a.save(ss);
+
+  AutoencoderConfig cfg2 = cfg;
+  cfg2.hidden_dim = a.config().hidden_dim;  // same derived shape
+  Autoencoder b(10, cfg2);
+  b.load(ss);
+  const Tensor za = a.encode(data);
+  const Tensor zb = b.encode(data);
+  for (std::size_t i = 0; i < za.size(); ++i) EXPECT_NEAR(za[i], zb[i], 1e-12);
+}
+
+TEST(Autoencoder, LoadRejectsShapeMismatch) {
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 4;
+  Autoencoder a(10, cfg);
+  std::stringstream ss;
+  a.save(ss);
+  Autoencoder b(12, cfg);
+  EXPECT_THROW(b.load(ss), Error);
+}
+
+TEST(Autoencoder, EncodeCostScalesWithLatent) {
+  AutoencoderConfig small_cfg, big_cfg;
+  small_cfg.latent_dim = 2;
+  big_cfg.latent_dim = 32;
+  const Autoencoder small(64, small_cfg);
+  const Autoencoder big(64, big_cfg);
+  EXPECT_LT(small.encode_cost(1).flops, big.encode_cost(1).flops);
+}
+
+TEST(Autoencoder, ScalesRawFeatureMagnitudes) {
+  // Features of magnitude ~100 must not saturate the tanh bottleneck.
+  Rng rng(7);
+  Tensor data = correlated_data(120, 12, 3, rng);
+  for (auto& v : data.flat()) v *= 100.0;
+  AutoencoderConfig cfg;
+  cfg.latent_dim = 6;
+  cfg.epochs = 150;
+  cfg.mu = 0.15;
+  Autoencoder ae(12, cfg);
+  (void)ae.train(data);
+  const Tensor recon = ae.reconstruct(data);
+  double err = 0.0, base = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    err += (recon[i] - data[i]) * (recon[i] - data[i]);
+    base += data[i] * data[i];
+  }
+  EXPECT_LT(err / base, 0.2);
+}
+
+}  // namespace
+}  // namespace ahn::autoencoder

@@ -1,0 +1,205 @@
+// Tests for src/common: RNG determinism and distributions, statistics
+// helpers, phase accounting, FLOP counting and table rendering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "common/flops.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace ahn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) seen[rng.uniform_index(10)]++;
+  for (int count : seen) EXPECT_GT(count, 300);  // roughly uniform
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 40000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaledMeanSigma) {
+  Rng rng(19);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.fork();
+  // The fork should not replay the parent's stream.
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(v), std::sqrt(1.25));
+}
+
+TEST(Stats, HarmonicMeanMatchesClosedForm) {
+  const std::vector<double> v{1.0, 2.0, 4.0};
+  EXPECT_NEAR(harmonic_mean(v), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(Stats, HarmonicMeanRejectsNonPositive) {
+  const std::vector<double> v{1.0, -2.0};
+  EXPECT_THROW((void)harmonic_mean(v), Error);
+}
+
+TEST(Stats, PercentileEndpointsAndMedian) {
+  const std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(median(v), 25.0);
+}
+
+TEST(Stats, RelativeErrorHandlesZeroReference) {
+  EXPECT_DOUBLE_EQ(relative_error(3.0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(relative_error(11.0, 10.0), 0.1);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(t.milliseconds(), 8.0);
+  t.restart();
+  EXPECT_LT(t.milliseconds(), 5.0);
+}
+
+TEST(PhaseAccumulator, AccumulatesAndComputesFractions) {
+  PhaseAccumulator acc;
+  acc.add("fetch", 1.0);
+  acc.add("run", 3.0);
+  acc.add("fetch", 1.0);
+  EXPECT_DOUBLE_EQ(acc.total(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.seconds("fetch"), 2.0);
+  EXPECT_DOUBLE_EQ(acc.fraction("run"), 0.6);
+  EXPECT_DOUBLE_EQ(acc.seconds("missing"), 0.0);
+}
+
+TEST(PhaseAccumulator, ScopedPhaseAddsOnDestruction) {
+  PhaseAccumulator acc;
+  {
+    ScopedPhase phase(acc, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(acc.seconds("work"), 0.0);
+}
+
+TEST(OpCounts, SumAndIntensity) {
+  OpCounts a{100, 50, 50};
+  OpCounts b{100, 0, 0};
+  const OpCounts c = a + b;
+  EXPECT_EQ(c.flops, 200u);
+  EXPECT_EQ(c.bytes_total(), 100u);
+  EXPECT_DOUBLE_EQ(c.intensity(), 2.0);
+  EXPECT_DOUBLE_EQ(b.intensity(), 0.0);
+}
+
+TEST(FlopRegion, CapturesDelta) {
+  FlopCounter::instance().reset();
+  FlopRegion region;
+  FlopCounter::instance().add({10, 20, 30});
+  const OpCounts d = region.delta();
+  EXPECT_EQ(d.flops, 10u);
+  EXPECT_EQ(d.bytes_read, 20u);
+  EXPECT_EQ(d.bytes_written, 30u);
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"x", "1.00"});
+  t.add_row({"longer-name", "2.50"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  // header separator present
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsAridityMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace ahn

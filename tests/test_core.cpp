@@ -1,0 +1,205 @@
+// Tests for src/core: Table-1 config parsing, Eqn-2/Eqn-3 evaluation
+// mechanics (fallback accounting, breakdown), and a miniature end-to-end
+// pipeline run on the cheapest application.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/registry.hpp"
+#include "core/config.hpp"
+#include "core/evaluation.hpp"
+#include "core/pipeline.hpp"
+
+namespace ahn::core {
+namespace {
+
+TEST(Config, DefaultsMatchPaperSettings) {
+  const Config cfg;
+  EXPECT_EQ(cfg.search_type, nas::SearchType::Autokeras);
+  EXPECT_DOUBLE_EQ(cfg.mu, 0.1);  // §7.1: mu = 10%
+  EXPECT_DOUBLE_EQ(cfg.quality_loss, 0.1);
+  EXPECT_EQ(cfg.init_model, nn::ModelKind::Mlp);  // Table 1 default
+}
+
+TEST(Config, AppliesTable1Knobs) {
+  Config cfg;
+  cfg.apply("searchType=fullInput");
+  cfg.apply("bayesianInit=7");
+  cfg.apply("encodingLoss=0.3");
+  cfg.apply("qualityLoss=0.05");
+  cfg.apply("initModel=CNN");
+  cfg.apply("numEpoch=99");
+  cfg.apply("trainRatio=0.7");
+  cfg.apply("batchSize=16");
+  cfg.apply("lr=0.01");
+  cfg.apply("preprocessing=0");
+  EXPECT_EQ(cfg.search_type, nas::SearchType::FullInput);
+  EXPECT_EQ(cfg.bayesian_init, 7u);
+  EXPECT_DOUBLE_EQ(cfg.encoding_loss, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.quality_loss, 0.05);
+  EXPECT_EQ(cfg.init_model, nn::ModelKind::Cnn);
+  EXPECT_EQ(cfg.num_epoch, 99u);
+  EXPECT_DOUBLE_EQ(cfg.train_ratio, 0.7);
+  EXPECT_EQ(cfg.batch_size, 16u);
+  EXPECT_DOUBLE_EQ(cfg.lr, 0.01);
+  EXPECT_FALSE(cfg.preprocessing);
+}
+
+TEST(Config, RejectsUnknownKeysAndBadValues) {
+  Config cfg;
+  EXPECT_THROW(cfg.apply("noSuchKey=1"), Error);
+  EXPECT_THROW(cfg.apply("numEpoch=abc"), Error);
+  EXPECT_THROW(cfg.apply("malformed"), Error);
+  EXPECT_THROW(cfg.apply("searchType=bogus"), Error);
+}
+
+TEST(Config, FromArgsAppliesEach) {
+  const char* argv[] = {"prog", "mu=0.2", "seed=9"};
+  const Config cfg = Config::from_args(3, argv);
+  EXPECT_DOUBLE_EQ(cfg.mu, 0.2);
+  EXPECT_EQ(cfg.seed, 9u);
+}
+
+TEST(Config, TranslatesToNasAndTrainOptions) {
+  Config cfg;
+  cfg.apply("innerIterations=9");
+  cfg.apply("kMax=32");
+  const nas::NasOptions nopts = cfg.nas_options();
+  EXPECT_EQ(nopts.inner_iterations, 9u);
+  EXPECT_EQ(nopts.k_max, 32u);
+  const nn::TrainOptions topts = cfg.train_options();
+  EXPECT_EQ(topts.epochs, cfg.num_epoch);
+  EXPECT_EQ(topts.batch_size, cfg.batch_size);
+}
+
+/// Builds a perfect pipeline model (predicts the app's exact outputs) by
+/// wrapping a lookup — lets evaluation mechanics be tested in isolation.
+nas::PipelineModel oracle_like_model(const apps::Application& app,
+                                     std::span<const std::size_t> problems,
+                                     double corruption) {
+  // Train a tiny identity-activation net to regress the mapping; corruption
+  // perturbs its weights to force controlled misses.
+  nn::Dataset data;
+  data.x = Tensor({problems.size(), app.input_dim()});
+  data.y = Tensor({problems.size(), app.output_dim()});
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const auto f = app.input_features(problems[i]);
+    std::copy(f.begin(), f.end(), data.x.row(i).begin());
+    const auto out = app.run_region(problems[i]).outputs;
+    std::copy(out.begin(), out.end(), data.y.row(i).begin());
+  }
+  // Width must exceed the map's rank (identity MLPs are low-rank otherwise).
+  nn::TopologySpec spec;
+  spec.num_layers = 1;
+  spec.hidden_units = 96;
+  spec.act = nn::Activation::Identity;
+  Rng rng(3);
+  nn::Network net = nn::build_surrogate(spec, app.input_dim(), app.output_dim(), rng);
+  nn::TrainOptions topts;
+  topts.epochs = 300;
+  topts.lr = 5e-3;
+  topts.patience = 50;
+  nas::PipelineModel pm;
+  pm.surrogate = nn::train_surrogate(std::move(net), data, topts);
+  if (corruption > 0.0) {
+    for (Tensor* p : pm.surrogate.net.params()) {
+      for (double& v : p->flat()) v *= (1.0 + corruption);
+    }
+  }
+  pm.spec = spec;
+  return pm;
+}
+
+TEST(Evaluation, GoodModelHitsAndSpeedsUp) {
+  auto app = apps::make_application("MG");
+  app->generate_problems(160, 11);
+  std::vector<std::size_t> train(150), eval(10);
+  std::iota(train.begin(), train.end(), 0);
+  std::iota(eval.begin(), eval.end(), 150);
+  const nas::PipelineModel pm = oracle_like_model(*app, train, 0.0);
+  const AppEvaluation ev =
+      evaluate_pipeline(*app, eval, pm, runtime::DeviceModel{});
+  EXPECT_GT(ev.hit_rate, 0.8);
+  EXPECT_GT(ev.speedup, 1.0);
+  EXPECT_GT(ev.breakdown.run, 0.0);
+  EXPECT_GT(ev.breakdown.fetch, 0.0);
+}
+
+TEST(Evaluation, FallbackChargesExactTimeOnMisses) {
+  auto app = apps::make_application("MG");
+  app->generate_problems(160, 13);
+  std::vector<std::size_t> train(150), eval(10);
+  std::iota(train.begin(), train.end(), 0);
+  std::iota(eval.begin(), eval.end(), 150);
+  // Heavy corruption: everything misses.
+  const nas::PipelineModel pm = oracle_like_model(*app, train, 10.0);
+
+  EvalOptions with_fallback;
+  const AppEvaluation ev_fb = evaluate_pipeline(*app, eval, pm,
+                                                runtime::DeviceModel{}, with_fallback);
+  EvalOptions no_fallback;
+  no_fallback.fallback_on_miss = false;
+  const AppEvaluation ev_nf = evaluate_pipeline(*app, eval, pm,
+                                                runtime::DeviceModel{}, no_fallback);
+  EXPECT_LT(ev_fb.hit_rate, 0.5);
+  // Restart-on-miss makes the surrogate path strictly slower.
+  EXPECT_GT(ev_nf.speedup, ev_fb.speedup);
+  EXPECT_LT(ev_fb.speedup, 1.05);
+}
+
+TEST(Evaluation, BreakdownSumsToOnlineTotal) {
+  auto app = apps::make_application("Laghos");
+  app->generate_problems(20, 17);
+  std::vector<std::size_t> train(15), eval(5);
+  std::iota(train.begin(), train.end(), 0);
+  std::iota(eval.begin(), eval.end(), 15);
+  const nas::PipelineModel pm = oracle_like_model(*app, train, 0.0);
+  EvalOptions opts;
+  opts.fallback_on_miss = false;
+  const AppEvaluation ev =
+      evaluate_pipeline(*app, eval, pm, runtime::DeviceModel{}, opts);
+  double others = 0.0;
+  for (std::size_t p : eval) others += app->other_part_seconds(p);
+  // surrogate_seconds ~ online breakdown + other-part time (other-part is
+  // re-measured so allow generous slack).
+  EXPECT_NEAR(ev.surrogate_seconds, ev.breakdown.total() + others,
+              0.5 * ev.surrogate_seconds);
+}
+
+TEST(Pipeline, MiniEndToEndOnMg) {
+  Config cfg;
+  cfg.train_problems = 120;
+  cfg.valid_problems = 8;
+  cfg.eval_problems = 12;
+  cfg.outer_iterations = 1;
+  cfg.inner_iterations = 2;
+  cfg.num_epoch = 60;
+  cfg.retrain_epochs = 120;
+  cfg.ae_epochs = 15;
+  const AutoHPCnet framework(cfg);
+  auto app = apps::make_application("MG");
+  const PipelineResult res = framework.run(*app);
+  EXPECT_GT(res.search.evaluations(), 0u);
+  EXPECT_GT(res.offline.sample_generation_seconds, 0.0);
+  EXPECT_GT(res.offline.search_seconds, 0.0);
+  EXPECT_EQ(res.eval_problems.size(), 12u);
+  EXPECT_GE(res.evaluation.hit_rate, 0.0);
+  EXPECT_LE(res.evaluation.hit_rate, 1.0);
+}
+
+TEST(Pipeline, AcquireSamplesShapes) {
+  Config cfg;
+  const AutoHPCnet framework(cfg);
+  auto app = apps::make_application("miniQMC");
+  app->generate_problems(10, 3);
+  std::vector<std::size_t> ids(10);
+  std::iota(ids.begin(), ids.end(), 0);
+  const nn::Dataset data = framework.acquire_samples(*app, ids);
+  EXPECT_EQ(data.size(), 10u);
+  EXPECT_EQ(data.in_features(), app->input_dim());
+  EXPECT_EQ(data.out_features(), app->output_dim());
+}
+
+}  // namespace
+}  // namespace ahn::core

@@ -1,0 +1,260 @@
+// Tests for src/nas and src/baselines: candidate evaluation, the 2D
+// hierarchical search (feasibility, quality-bound behaviour, checkpoint
+// round trip, warm start), the Autokeras-like/grid/flat-joint comparators,
+// loop-perforation tuning and the ACCEPT baseline.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "apps/registry.hpp"
+#include "baselines/accept.hpp"
+#include "baselines/perforation.hpp"
+#include "nas/baseline_searchers.hpp"
+#include "nas/two_d_nas.hpp"
+#include "tensor/ops.hpp"
+
+namespace ahn::nas {
+namespace {
+
+/// A controlled synthetic search task: y = W x with x of dimension `width`
+/// but intrinsic rank 4, so feature reduction genuinely helps. Quality is
+/// the mean relative prediction error on a held-out slice.
+SearchTask make_synthetic_task(std::size_t width, std::size_t samples = 160) {
+  Rng rng(11);
+  const std::size_t rank = 4, out = 6;
+  Tensor basis = Tensor::randn({rank, width}, rng);
+  Tensor w = Tensor::randn({width, out}, rng, 0.2);
+
+  SearchTask task;
+  task.data.x = Tensor({samples, width});
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::vector<double> c(rank);
+    for (auto& v : c) v = rng.uniform(-1, 1);
+    for (std::size_t j = 0; j < width; ++j) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < rank; ++r) acc += c[r] * basis.at(r, j);
+      task.data.x.at(i, j) = acc;
+    }
+  }
+  task.data.y = ops::matmul(task.data.x, w);
+
+  // Hold out the last 20 rows for the quality probe.
+  auto holdout = std::make_shared<nn::Dataset>();
+  std::vector<std::size_t> rows(20);
+  std::iota(rows.begin(), rows.end(), samples - 20);
+  *holdout = task.data.subset(rows);
+
+  task.evaluate_quality = [holdout](const PipelineModel& pm) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < holdout->size(); ++i) {
+      const std::vector<double> feat(holdout->x.row(i).begin(), holdout->x.row(i).end());
+      const std::vector<double> pred = pm.infer(feat);
+      double num = 0.0, den = 0.0;
+      for (std::size_t j = 0; j < pred.size(); ++j) {
+        const double d = pred[j] - holdout->y.at(i, j);
+        num += d * d;
+        den += holdout->y.at(i, j) * holdout->y.at(i, j);
+      }
+      total += std::sqrt(num / (den + 1e-30));
+    }
+    return total / static_cast<double>(holdout->size());
+  };
+  task.quality_bound = 0.2;
+  task.train.epochs = 60;
+  task.train.lr = 5e-3;
+  task.seed = 5;
+  return task;
+}
+
+TEST(EvaluateCandidate, FillsObjectives) {
+  const SearchTask task = make_synthetic_task(24);
+  nn::TopologySpec spec;
+  spec.num_layers = 1;
+  spec.hidden_units = 16;
+  spec.act = nn::Activation::Identity;
+  Rng rng(1);
+  const PipelineModel pm = evaluate_candidate(task, spec, nullptr, task.data, rng);
+  EXPECT_LT(pm.quality_error, 0.5);
+  EXPECT_GT(pm.modeled_infer_seconds, 0.0);
+  EXPECT_EQ(pm.latent_k, 0u);
+}
+
+TEST(PipelineModel, InferMatchesSurrogatePredict) {
+  const SearchTask task = make_synthetic_task(12);
+  nn::TopologySpec spec;
+  spec.num_layers = 1;
+  spec.hidden_units = 8;
+  spec.act = nn::Activation::Identity;
+  Rng rng(2);
+  const PipelineModel pm = evaluate_candidate(task, spec, nullptr, task.data, rng);
+  const std::vector<double> feat(task.data.x.row(0).begin(), task.data.x.row(0).end());
+  const std::vector<double> out = pm.infer(feat);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(TwoDNas, FindsFeasiblePipelineOnSyntheticTask) {
+  const SearchTask task = make_synthetic_task(32);
+  NasOptions opts;
+  opts.outer_iterations = 2;
+  opts.inner_iterations = 3;
+  opts.k_min = 2;
+  opts.k_max = 16;
+  opts.ae_epochs = 40;
+  const TwoDNas nas(opts);
+  const NasResult res = nas.search(task);
+  EXPECT_TRUE(res.found_feasible);
+  EXPECT_LE(res.best.quality_error, task.quality_bound);
+  EXPECT_GT(res.evaluations(), 3u);
+  EXPECT_GT(res.search_seconds, 0.0);
+}
+
+TEST(TwoDNas, FullInputModeSkipsEncoder) {
+  const SearchTask task = make_synthetic_task(16);
+  NasOptions opts;
+  opts.search_type = SearchType::FullInput;
+  opts.inner_iterations = 3;
+  const TwoDNas nas(opts);
+  const NasResult res = nas.search(task);
+  EXPECT_EQ(res.best.encoder, nullptr);
+  EXPECT_EQ(res.best.latent_k, 0u);
+}
+
+TEST(TwoDNas, UserModelSeedIsEvaluatedFirst) {
+  const SearchTask task = make_synthetic_task(16);
+  NasOptions opts;
+  opts.search_type = SearchType::UserModel;
+  opts.user_model.num_layers = 3;
+  opts.user_model.hidden_units = 24;
+  opts.inner_iterations = 2;
+  opts.outer_iterations = 1;
+  const TwoDNas nas(opts);
+  const NasResult res = nas.search(task);
+  ASSERT_FALSE(res.steps.empty());
+  EXPECT_EQ(res.steps.front().spec.num_layers, 3u);
+  EXPECT_EQ(res.steps.front().spec.hidden_units, 24u);
+}
+
+TEST(TwoDNas, CheckpointRoundTrip) {
+  const SearchTask task = make_synthetic_task(16);
+  NasOptions opts;
+  opts.outer_iterations = 1;
+  opts.inner_iterations = 2;
+  const TwoDNas nas(opts);
+  const NasResult res = nas.search(task);
+
+  std::stringstream ss;
+  TwoDNas::save_checkpoint(ss, res);
+  const std::vector<SearchStep> loaded = TwoDNas::load_checkpoint(ss);
+  ASSERT_EQ(loaded.size(), res.steps.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].latent_k, res.steps[i].latent_k);
+    EXPECT_EQ(loaded[i].spec.hidden_units, res.steps[i].spec.hidden_units);
+    EXPECT_EQ(loaded[i].spec.act, res.steps[i].spec.act);
+    EXPECT_DOUBLE_EQ(loaded[i].quality_error, res.steps[i].quality_error);
+  }
+}
+
+TEST(TwoDNas, WarmStartConsumesPriorSteps) {
+  const SearchTask task = make_synthetic_task(16);
+  NasOptions opts;
+  opts.outer_iterations = 1;
+  opts.inner_iterations = 2;
+  const TwoDNas nas(opts);
+  const NasResult first = nas.search(task);
+  const NasResult second = nas.search_from(task, first.steps);
+  EXPECT_GT(second.evaluations(), first.evaluations());
+}
+
+TEST(AutokerasLike, SearchesWithoutQualityConstraint) {
+  const SearchTask task = make_synthetic_task(24);
+  AutokerasOptions opts;
+  opts.iterations = 4;
+  const AutokerasLike ak(opts);
+  const NasResult res = ak.search(task);
+  EXPECT_EQ(res.evaluations(), 4u);
+  EXPECT_EQ(res.best.encoder, nullptr);  // never reduces features
+}
+
+TEST(GridSearch, EnumeratesFullGrid) {
+  const SearchTask task = make_synthetic_task(12);
+  GridSearchOptions opts;
+  opts.layer_grid = {1, 2};
+  opts.unit_grid = {8, 16};
+  const GridSearch grid(opts);
+  const NasResult res = grid.search(task);
+  EXPECT_EQ(res.evaluations(), 4u);
+}
+
+TEST(FlatJointNas, RunsAndTracksEncodingMiss) {
+  const SearchTask task = make_synthetic_task(24);
+  FlatJointOptions opts;
+  opts.iterations = 3;
+  opts.k_min = 2;
+  opts.k_max = 12;
+  opts.ae_epochs = 30;
+  const FlatJointNas flat(opts);
+  const NasResult res = flat.search(task);
+  EXPECT_EQ(res.evaluations(), 3u);
+  for (const auto& s : res.steps) EXPECT_GT(s.latent_k, 0u);
+}
+
+}  // namespace
+}  // namespace ahn::nas
+
+namespace ahn::baselines {
+namespace {
+
+TEST(Perforation, PicksFullKeepWhenQualityFragile) {
+  // FFT collapses under stage perforation, so calibration must keep 1.0.
+  auto app = apps::make_application("FFT");
+  app->generate_problems(10, 3);
+  const std::vector<std::size_t> cal{0, 1, 2, 3};
+  const std::vector<std::size_t> eval{4, 5, 6, 7};
+  const PerforationResult res = tune_and_evaluate(*app, cal, eval);
+  EXPECT_EQ(res.keep_fraction, 1.0);
+  EXPECT_NEAR(res.speedup, 1.0, 0.35);
+}
+
+TEST(Perforation, ExploitsTolerantKernels) {
+  // x264 forwards source pixels for skipped tiles: quality stays high and a
+  // sub-1.0 keep should be selected with real speedup.
+  auto app = apps::make_application("X264");
+  app->generate_problems(10, 5);
+  const std::vector<std::size_t> cal{0, 1, 2, 3};
+  const std::vector<std::size_t> eval{4, 5, 6, 7};
+  const PerforationResult res = tune_and_evaluate(*app, cal, eval);
+  EXPECT_LT(res.keep_fraction, 1.0);
+  EXPECT_GT(res.speedup, 1.2);
+  EXPECT_GE(res.hit_rate, 0.75);
+}
+
+TEST(Accept, CoversOnlyTypeTwoApps) {
+  EXPECT_TRUE(accept_topology("Blackscholes").has_value());
+  EXPECT_TRUE(accept_topology("X264").has_value());
+  EXPECT_FALSE(accept_topology("CG").has_value());
+  EXPECT_FALSE(accept_topology("AMG").has_value());
+  EXPECT_FALSE(accept_topology("miniQMC").has_value());
+}
+
+TEST(Accept, TrainsFixedTopology) {
+  const nas::SearchTask task = [] {
+    // Tiny synthetic task reusing the nas test helper shape.
+    Rng rng(2);
+    nas::SearchTask t;
+    t.data.x = Tensor::randn({80, 10}, rng);
+    t.data.y = ops::matmul(t.data.x, Tensor::randn({10, 2}, rng));
+    t.evaluate_quality = [](const nas::PipelineModel&) { return 0.05; };
+    t.train.epochs = 20;
+    return t;
+  }();
+  const nas::PipelineModel pm = train_accept_model(task, "Canneal");
+  EXPECT_EQ(pm.spec.num_layers, 1u);
+  EXPECT_EQ(pm.spec.act, nn::Activation::Sigmoid);
+  EXPECT_EQ(pm.encoder, nullptr);
+  EXPECT_THROW((void)train_accept_model(task, "CG"), Error);
+}
+
+}  // namespace
+}  // namespace ahn::baselines

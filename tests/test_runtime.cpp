@@ -1,0 +1,197 @@
+// Tests for src/runtime: the roofline device model (monotonicity, profiles,
+// Table-3 cache heuristics), the orchestrator/client tensor store and model
+// registry (Listing 1 semantics), and deployed-surrogate inference timing.
+
+#include <gtest/gtest.h>
+
+#include "nn/topology.hpp"
+#include "runtime/deployment.hpp"
+#include "runtime/orchestrator.hpp"
+#include "sparse/generators.hpp"
+
+namespace ahn::runtime {
+namespace {
+
+TEST(Device, KernelTimeIncludesLaunchLatency) {
+  const DeviceModel dev;
+  const OpCounts none{};
+  EXPECT_GE(dev.kernel_seconds(none, nn_inference_profile()),
+            dev.spec().launch_latency);
+}
+
+TEST(Device, KernelTimeMonotoneInFlops) {
+  const DeviceModel dev;
+  OpCounts small{1000, 100, 100};
+  OpCounts big{1000000000, 100, 100};
+  EXPECT_LT(dev.kernel_seconds(small, nn_inference_profile()),
+            dev.kernel_seconds(big, nn_inference_profile()));
+}
+
+TEST(Device, SparseSolverProfileSlowerThanNn) {
+  const DeviceModel dev;
+  const OpCounts ops{100000000, 1000000, 1000000};
+  EXPECT_GT(dev.kernel_seconds(ops, sparse_solver_profile()),
+            dev.kernel_seconds(ops, nn_inference_profile()));
+}
+
+TEST(Device, TransferTimeLinearInBytes) {
+  const DeviceModel dev;
+  const double t1 = dev.transfer_seconds(1 << 20);
+  const double t2 = dev.transfer_seconds(2 << 20);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 - t1, static_cast<double>(1 << 20) / dev.spec().transfer_bandwidth,
+              1e-9);
+}
+
+TEST(Device, MissRateDecreasesWithIntensity) {
+  const OpCounts low_intensity{100, 10000, 10000};   // memory-bound gather
+  const OpCounts high_intensity{1000000, 1000, 0};   // GEMM-like
+  const auto profile = nn_inference_profile();
+  EXPECT_GT(DeviceModel::modeled_l2_miss_rate(low_intensity, profile),
+            DeviceModel::modeled_l2_miss_rate(high_intensity, profile));
+}
+
+TEST(Device, MissRateCalibratedToTable3Regimes) {
+  // Sparse-solver-on-CPU-like ops: low intensity -> ~30-45% misses.
+  const OpCounts solver{2 * 512, 512 * 12, 512 * 8};
+  const double cpu_like =
+      DeviceModel::modeled_l2_miss_rate(solver, sparse_solver_profile());
+  EXPECT_GT(cpu_like, 0.25);
+  EXPECT_LT(cpu_like, 0.5);
+  // NN inference: high intensity -> under 25%.
+  const OpCounts gemm{2ULL * 64 * 64 * 64, 3 * 64 * 64 * 8, 64 * 64 * 8};
+  const double nn_like = DeviceModel::modeled_l2_miss_rate(gemm, nn_inference_profile());
+  EXPECT_LT(nn_like, 0.25);
+}
+
+TEST(Device, EnergyMonotoneAndAboveIdleFloor) {
+  const DeviceModel dev;
+  const OpCounts small{1000, 1000, 0};
+  const OpCounts big{1000000000, 1000, 0};
+  const double es = dev.kernel_joules(small, nn_inference_profile());
+  const double eb = dev.kernel_joules(big, nn_inference_profile());
+  EXPECT_GT(eb, es);
+  // Energy >= idle power x modeled time.
+  EXPECT_GE(es, 50.0 * dev.kernel_seconds(small, nn_inference_profile()) * 0.99);
+}
+
+TEST(Device, AchievedBandwidthComputed) {
+  const OpCounts ops{0, 1000, 1000};
+  EXPECT_DOUBLE_EQ(DeviceModel::achieved_bandwidth(ops, 2.0), 1000.0);
+}
+
+TEST(Orchestrator, TensorStorePutGetDelete) {
+  Orchestrator orc;
+  Tensor t({1, 3}, {1, 2, 3});
+  orc.put_tensor("in", t);
+  EXPECT_TRUE(orc.has_tensor("in"));
+  const Tensor got = orc.get_tensor("in");
+  EXPECT_EQ(got.at(0, 1), 2.0);
+  orc.delete_tensor("in");
+  EXPECT_FALSE(orc.has_tensor("in"));
+  EXPECT_THROW((void)orc.get_tensor("in"), Error);
+}
+
+std::shared_ptr<ServableModel> tiny_model() {
+  Rng rng(1);
+  nn::TopologySpec spec;
+  spec.num_layers = 1;
+  spec.hidden_units = 8;
+  nn::Network net = nn::build_surrogate(spec, 4, 2, rng);
+  auto m = std::make_shared<ServableModel>();
+  m->infer_ops = net.inference_cost(1);
+  m->surrogate.net = std::move(net);
+  return m;
+}
+
+TEST(Orchestrator, RunModelListing1Flow) {
+  Orchestrator orc;
+  orc.set_model("AI-CFD-net", tiny_model());
+
+  // Listing 1: put_tensor -> run_model -> unpack_tensor.
+  Client client(orc);
+  Tensor in({1, 4}, {0.1, 0.2, 0.3, 0.4});
+  client.put_tensor("in_key", in);
+  PhaseAccumulator phases;
+  client.run_model("AI-CFD-net", "in_key", "out_key", &phases);
+  const Tensor out = client.unpack_tensor("out_key");
+  EXPECT_EQ(out.rows(), 1u);
+  EXPECT_EQ(out.cols(), 2u);
+
+  // §7.3's four online phases are all accounted.
+  EXPECT_GT(phases.seconds("fetch"), 0.0);
+  EXPECT_GT(phases.seconds("load"), 0.0);
+  EXPECT_GT(phases.seconds("run"), 0.0);
+  EXPECT_EQ(phases.seconds("encode"), 0.0);  // no encoder in this model
+}
+
+TEST(Orchestrator, UnknownModelThrows) {
+  Orchestrator orc;
+  orc.put_tensor("x", Tensor({1, 1}, {1}));
+  EXPECT_THROW(orc.run_model("nope", "x", "y"), Error);
+}
+
+TEST(Deployment, InferShapesAndTiming) {
+  Rng rng(2);
+  nn::TopologySpec spec;
+  spec.num_layers = 1;
+  spec.hidden_units = 8;
+  nn::TrainedSurrogate ts;
+  ts.net = nn::build_surrogate(spec, 6, 3, rng);
+  const DeployedSurrogate dep(nullptr, std::move(ts), DeviceModel{});
+
+  const std::vector<double> feat{1, 2, 3, 4, 5, 6};
+  const InferenceResult res = dep.infer(feat);
+  EXPECT_EQ(res.outputs.size(), 3u);
+  EXPECT_GT(res.timing.fetch_seconds, 0.0);
+  EXPECT_GT(res.timing.run_seconds, 0.0);
+  EXPECT_EQ(res.timing.encode_seconds, 0.0);
+  EXPECT_NEAR(res.timing.total(),
+              res.timing.fetch_seconds + res.timing.encode_seconds +
+                  res.timing.load_seconds + res.timing.run_seconds,
+              1e-15);
+}
+
+TEST(Deployment, SparsePathShipsFewerBytes) {
+  Rng rng(3);
+  const std::size_t width = 400;
+  nn::TopologySpec spec;
+  spec.num_layers = 1;
+  spec.hidden_units = 8;
+  nn::TrainedSurrogate ts;
+  ts.net = nn::build_surrogate(spec, width, 2, rng);
+  const DeployedSurrogate dep(nullptr, std::move(ts), DeviceModel{});
+
+  // One batch with a single very sparse row.
+  const sparse::Csr batch = sparse::random_sparse(1, width, 0.02, rng);
+  const InferenceResult sparse_res = dep.infer_sparse(batch, 0);
+  const Tensor dense_row = batch.to_dense();
+  const InferenceResult dense_res = dep.infer(
+      std::vector<double>(dense_row.row(0).begin(), dense_row.row(0).end()));
+  // The sparse fetch moves the compressed payload only (§4.2's saving).
+  EXPECT_LT(sparse_res.timing.fetch_seconds, dense_res.timing.fetch_seconds);
+  // Same math, same outputs.
+  ASSERT_EQ(sparse_res.outputs.size(), dense_res.outputs.size());
+  for (std::size_t i = 0; i < sparse_res.outputs.size(); ++i) {
+    EXPECT_NEAR(sparse_res.outputs[i], dense_res.outputs[i], 1e-9);
+  }
+}
+
+TEST(Deployment, EncoderAddsEncodePhase) {
+  Rng rng(4);
+  autoencoder::AutoencoderConfig acfg;
+  acfg.latent_dim = 4;
+  auto enc = std::make_shared<autoencoder::Autoencoder>(16, acfg);
+  nn::TopologySpec spec;
+  spec.num_layers = 1;
+  spec.hidden_units = 8;
+  nn::TrainedSurrogate ts;
+  ts.net = nn::build_surrogate(spec, 4, 2, rng);
+  const DeployedSurrogate dep(enc, std::move(ts), DeviceModel{});
+  const InferenceResult res = dep.infer(std::vector<double>(16, 0.5));
+  EXPECT_GT(res.timing.encode_seconds, 0.0);
+  EXPECT_EQ(res.outputs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ahn::runtime

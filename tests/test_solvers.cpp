@@ -1,0 +1,208 @@
+// Tests for src/apps solvers: CG/PCG convergence on SPD systems, the
+// Jacobi and AMG preconditioners, geometric multigrid, and the FFT kernel
+// against a naive DFT oracle (property-style over sizes).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/fft.hpp"
+#include "apps/solvers.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/spmv.hpp"
+
+namespace ahn::apps {
+namespace {
+
+double residual_norm(const sparse::Csr& a, std::span<const double> b,
+                     std::span<const double> x) {
+  std::vector<double> ax(a.rows());
+  sparse::spmv(a, x, ax);
+  double s = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double d = b[i] - ax[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+class CgDims : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CgDims, ConvergesOnRandomSpd) {
+  Rng rng(GetParam());
+  const sparse::Csr a = sparse::random_spd(GetParam() * 16, 4, rng);
+  const std::vector<double> b = sparse::random_rhs(a.rows(), rng);
+  std::vector<double> x(a.rows(), 0.0);
+  const SolveStats stats = conjugate_gradient(a, b, x, 1e-10, 4 * a.rows());
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(residual_norm(a, b, x), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, CgDims, ::testing::Values(1, 2, 4, 8));
+
+TEST(Cg, ZeroRhsYieldsZeroSolution) {
+  Rng rng(1);
+  const sparse::Csr a = sparse::random_spd(16, 3, rng);
+  const std::vector<double> b(16, 0.0);
+  std::vector<double> x(16, 0.0);
+  const SolveStats stats = conjugate_gradient(a, b, x);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.iterations, 0u);
+}
+
+TEST(Pcg, JacobiPreconditionerAcceleratesIllScaled) {
+  // Badly scaled diagonal: plain CG needs many iterations, Jacobi fixes it.
+  sparse::Coo coo;
+  coo.rows = coo.cols = 32;
+  Rng rng(3);
+  for (std::size_t i = 0; i < 32; ++i) {
+    coo.push(i, i, std::pow(10.0, rng.uniform(0.0, 4.0)));
+  }
+  const sparse::Csr a = sparse::Csr::from_coo(std::move(coo));
+  const std::vector<double> b = sparse::random_rhs(32, rng);
+
+  std::vector<double> x0(32, 0.0), x1(32, 0.0);
+  const SolveStats plain = conjugate_gradient(a, b, x0, 1e-12, 500);
+  const SolveStats jac =
+      preconditioned_cg(a, b, x1, jacobi_preconditioner(a), 1e-12, 500);
+  EXPECT_TRUE(jac.converged);
+  EXPECT_LE(jac.iterations, plain.iterations);
+  EXPECT_LE(jac.iterations, 3u);  // diagonal system: 1-2 iterations
+}
+
+TEST(Pcg, RejectsNonSpd) {
+  sparse::Coo coo;
+  coo.rows = coo.cols = 2;
+  coo.push(0, 0, -1.0);
+  coo.push(1, 1, -1.0);
+  const sparse::Csr a = sparse::Csr::from_coo(std::move(coo));
+  const std::vector<double> b{1.0, 1.0};
+  std::vector<double> x(2, 0.0);
+  EXPECT_THROW((void)conjugate_gradient(a, b, x), Error);
+}
+
+class MgGrids : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MgGrids, VcycleSolvesPoisson) {
+  const GeometricMultigrid mg(GetParam());
+  Rng rng(7);
+  const std::vector<double> b = sparse::random_rhs(mg.dim(), rng);
+  std::vector<double> x(mg.dim(), 0.0);
+  const SolveStats stats = mg.solve(b, x, 1e-9, 60);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(residual_norm(mg.matrix(), b, x) / mg.dim(), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, MgGrids, ::testing::Values(8, 16, 32));
+
+TEST(Mg, ConvergesInFewCycles) {
+  const GeometricMultigrid mg(16);
+  Rng rng(9);
+  const std::vector<double> b = sparse::random_rhs(mg.dim(), rng);
+  std::vector<double> x(mg.dim(), 0.0);
+  const SolveStats stats = mg.solve(b, x, 1e-8, 60);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_LT(stats.iterations, 30u);  // multigrid efficiency
+}
+
+TEST(Amg, PreconditionerBeatsPlainCgOnPoisson) {
+  const sparse::Csr a = sparse::poisson2d(16);
+  Rng rng(11);
+  const std::vector<double> b = sparse::random_rhs(a.rows(), rng);
+
+  std::vector<double> x0(a.rows(), 0.0), x1(a.rows(), 0.0);
+  const SolveStats plain = conjugate_gradient(a, b, x0, 1e-10, 2000);
+  const AlgebraicMultigrid amg(a);
+  const SolveStats pre =
+      preconditioned_cg(a, b, x1, amg.as_preconditioner(), 1e-10, 2000);
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(pre.converged);
+  EXPECT_LT(pre.iterations, plain.iterations);
+}
+
+TEST(Amg, BuildsMultipleLevels) {
+  const sparse::Csr a = sparse::poisson2d(16);
+  const AlgebraicMultigrid amg(a, 4, 8);
+  EXPECT_GE(amg.levels(), 2u);
+}
+
+TEST(Amg, ApplyIsDeterministic) {
+  const sparse::Csr a = sparse::poisson2d(8);
+  const AlgebraicMultigrid amg(a);
+  Rng rng(13);
+  const std::vector<double> r = sparse::random_rhs(a.rows(), rng);
+  std::vector<double> z1(a.rows()), z2(a.rows());
+  amg.apply(r, z1);
+  amg.apply(r, z2);
+  for (std::size_t i = 0; i < z1.size(); ++i) EXPECT_EQ(z1[i], z2[i]);
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<Complex> data(n);
+  for (auto& c : data) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  const std::vector<Complex> expect = dft_reference(data);
+  std::vector<Complex> got = data;
+  fft_inplace(got);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(got[i].real(), expect[i].real(), 1e-9 * n);
+    EXPECT_NEAR(got[i].imag(), expect[i].imag(), 1e-9 * n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Solvers, FftSizes, ::testing::Values(2, 4, 8, 16, 64, 256));
+
+TEST(Fft, InverseRoundTrip) {
+  Rng rng(17);
+  std::vector<Complex> data(32);
+  for (auto& c : data) c = Complex(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  std::vector<Complex> work = data;
+  fft_inplace(work, false);
+  fft_inplace(work, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(work[i].real(), data[i].real(), 1e-10);
+    EXPECT_NEAR(work[i].imag(), data[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, RealWrapperInterleavesComplexOutput) {
+  const std::vector<double> signal{1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> out = fft_real(signal);
+  ASSERT_EQ(out.size(), 8u);
+  // Impulse -> flat spectrum of ones.
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(out[2 * k], 1.0, 1e-12);
+    EXPECT_NEAR(out[2 * k + 1], 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(6);
+  EXPECT_THROW(fft_inplace(data), Error);
+}
+
+TEST(Fft, PerforatedFullKeepMatchesExact) {
+  Rng rng(19);
+  std::vector<double> signal(64);
+  for (auto& v : signal) v = rng.uniform(-1, 1);
+  const auto exact = fft_real(signal);
+  const auto perf = fft_real_perforated(signal, 1.0);
+  for (std::size_t i = 0; i < exact.size(); ++i) EXPECT_NEAR(exact[i], perf[i], 1e-12);
+}
+
+TEST(Fft, PerforationDegradesQuality) {
+  Rng rng(21);
+  std::vector<double> signal(64);
+  for (auto& v : signal) v = rng.uniform(-1, 1);
+  const auto exact = fft_real(signal);
+  const auto perf = fft_real_perforated(signal, 0.5);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < exact.size(); ++i) diff += std::abs(exact[i] - perf[i]);
+  EXPECT_GT(diff, 1.0);  // stage skipping visibly corrupts the spectrum
+}
+
+}  // namespace
+}  // namespace ahn::apps

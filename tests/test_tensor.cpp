@@ -1,0 +1,159 @@
+// Tests for src/tensor: shape handling, element access, and the BLAS-like
+// kernels (including the transposed products used by backprop).
+
+#include <gtest/gtest.h>
+
+#include "common/flops.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ahn {
+namespace {
+
+TEST(Tensor, ConstructsWithShapeAndZeros) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  for (double v : t.flat()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Tensor, DataConstructorValidatesVolume) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, ElementAccessRowMajor) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 2), 3.0);
+  EXPECT_EQ(t.at(1, 0), 4.0);
+  t.at(1, 1) = 42.0;
+  EXPECT_EQ(t[4], 42.0);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0);
+  EXPECT_THROW(t.reshape({4, 2}), Error);
+}
+
+TEST(Tensor, RowSpanViewsWithoutCopy) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto row = t.row(1);
+  row[0] = -4.0;
+  EXPECT_EQ(t.at(1, 0), -4.0);
+}
+
+TEST(Tensor, RandnReproducibleFromSeed) {
+  Rng a(5), b(5);
+  const Tensor x = Tensor::randn({3, 3}, a);
+  const Tensor y = Tensor::randn({3, 3}, b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(x[i], y[i]);
+}
+
+TEST(Tensor, FullFillsValue) {
+  const Tensor t = Tensor::full({4}, 2.5);
+  for (double v : t.flat()) EXPECT_EQ(v, 2.5);
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).shape_string(), "[2x3]");
+}
+
+TEST(Ops, MatmulMatchesHandComputed) {
+  const Tensor a({2, 2}, {1, 2, 3, 4});
+  const Tensor b({2, 2}, {5, 6, 7, 8});
+  const Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0);
+  EXPECT_EQ(c.at(0, 1), 22.0);
+  EXPECT_EQ(c.at(1, 0), 43.0);
+  EXPECT_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(Ops, MatmulRejectsBadInnerDims) {
+  const Tensor a({2, 3});
+  const Tensor b({2, 3});
+  EXPECT_THROW((void)ops::matmul(a, b), Error);
+}
+
+TEST(Ops, TransposedProductsAgreeWithExplicitTranspose) {
+  Rng rng(2);
+  const Tensor a = Tensor::randn({4, 3}, rng);
+  const Tensor b = Tensor::randn({5, 3}, rng);
+  const Tensor expect_nt = ops::matmul(a, ops::transpose(b));
+  const Tensor got_nt = ops::matmul_nt(a, b);
+  for (std::size_t i = 0; i < expect_nt.size(); ++i) {
+    EXPECT_NEAR(got_nt[i], expect_nt[i], 1e-12);
+  }
+
+  const Tensor c = Tensor::randn({4, 6}, rng);
+  const Tensor expect_tn = ops::matmul(ops::transpose(a), c);
+  const Tensor got_tn = ops::matmul_tn(a, c);
+  for (std::size_t i = 0; i < expect_tn.size(); ++i) {
+    EXPECT_NEAR(got_tn[i], expect_tn[i], 1e-12);
+  }
+}
+
+TEST(Ops, MatvecMatchesMatmul) {
+  Rng rng(3);
+  const Tensor a = Tensor::randn({3, 4}, rng);
+  Tensor x = Tensor::randn({4}, rng);
+  const Tensor y = ops::matvec(a, x);
+  Tensor xm = x;
+  xm.reshape({4, 1});
+  const Tensor ym = ops::matmul(a, xm);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(y[i], ym[i], 1e-12);
+}
+
+TEST(Ops, AxpyAndElementwise) {
+  Tensor x({3}, {1, 2, 3});
+  Tensor y({3}, {10, 20, 30});
+  ops::axpy(2.0, x, y);
+  EXPECT_EQ(y[0], 12.0);
+  EXPECT_EQ(y[2], 36.0);
+
+  const Tensor s = ops::add(x, x);
+  EXPECT_EQ(s[1], 4.0);
+  const Tensor d = ops::sub(y, x);
+  EXPECT_EQ(d[0], 11.0);
+  const Tensor h = ops::hadamard(x, x);
+  EXPECT_EQ(h[2], 9.0);
+}
+
+TEST(Ops, AddRowBiasBroadcasts) {
+  Tensor t({2, 2}, {1, 1, 1, 1});
+  const Tensor bias({2}, {5, 7});
+  ops::add_row_bias(t, bias);
+  EXPECT_EQ(t.at(0, 0), 6.0);
+  EXPECT_EQ(t.at(1, 1), 8.0);
+}
+
+TEST(Ops, DotNormSumMax) {
+  const Tensor x({3}, {3, 4, 0});
+  EXPECT_DOUBLE_EQ(ops::dot(x.flat(), x.flat()), 25.0);
+  EXPECT_DOUBLE_EQ(ops::norm2(x.flat()), 5.0);
+  EXPECT_DOUBLE_EQ(ops::sum(x), 7.0);
+  const Tensor y({3}, {-9, 4, 0});
+  EXPECT_DOUBLE_EQ(ops::max_abs(y), 9.0);
+}
+
+TEST(Ops, MatmulCountsFlops) {
+  FlopCounter::instance().reset();
+  FlopRegion region;
+  const Tensor a({4, 5});
+  const Tensor b({5, 6});
+  (void)ops::matmul(a, b);
+  EXPECT_EQ(region.delta().flops, 2u * 4 * 5 * 6);
+}
+
+TEST(Ops, TransposeRoundTrip) {
+  Rng rng(4);
+  const Tensor a = Tensor::randn({3, 5}, rng);
+  const Tensor att = ops::transpose(ops::transpose(a));
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], att[i]);
+}
+
+}  // namespace
+}  // namespace ahn
