@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoencoder_quality.dir/autoencoder_quality.cpp.o"
+  "CMakeFiles/autoencoder_quality.dir/autoencoder_quality.cpp.o.d"
+  "autoencoder_quality"
+  "autoencoder_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoencoder_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bo_vs_grid.dir/bo_vs_grid.cpp.o"
+  "CMakeFiles/bo_vs_grid.dir/bo_vs_grid.cpp.o.d"
+  "bo_vs_grid"
+  "bo_vs_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bo_vs_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

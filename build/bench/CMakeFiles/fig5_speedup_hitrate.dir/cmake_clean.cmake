@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_speedup_hitrate.dir/fig5_speedup_hitrate.cpp.o"
+  "CMakeFiles/fig5_speedup_hitrate.dir/fig5_speedup_hitrate.cpp.o.d"
+  "fig5_speedup_hitrate"
+  "fig5_speedup_hitrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_speedup_hitrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_ablation.dir/nas_ablation.cpp.o"
+  "CMakeFiles/nas_ablation.dir/nas_ablation.cpp.o.d"
+  "nas_ablation"
+  "nas_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

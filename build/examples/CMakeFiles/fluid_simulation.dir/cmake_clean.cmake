@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_simulation.dir/fluid_simulation.cpp.o"
+  "CMakeFiles/fluid_simulation.dir/fluid_simulation.cpp.o.d"
+  "fluid_simulation"
+  "fluid_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/amg_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/amg_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/amg_app.cpp.o.d"
+  "/root/repo/src/apps/application.cpp" "src/apps/CMakeFiles/ahn_apps.dir/application.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/application.cpp.o.d"
+  "/root/repo/src/apps/blackscholes_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/blackscholes_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/blackscholes_app.cpp.o.d"
+  "/root/repo/src/apps/canneal_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/canneal_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/canneal_app.cpp.o.d"
+  "/root/repo/src/apps/cg_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/cg_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/cg_app.cpp.o.d"
+  "/root/repo/src/apps/fft.cpp" "src/apps/CMakeFiles/ahn_apps.dir/fft.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/fft.cpp.o.d"
+  "/root/repo/src/apps/fft_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/fft_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/fft_app.cpp.o.d"
+  "/root/repo/src/apps/fluidanimate_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/fluidanimate_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/fluidanimate_app.cpp.o.d"
+  "/root/repo/src/apps/laghos_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/laghos_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/laghos_app.cpp.o.d"
+  "/root/repo/src/apps/mg_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/mg_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/mg_app.cpp.o.d"
+  "/root/repo/src/apps/miniqmc_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/miniqmc_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/miniqmc_app.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/ahn_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/solvers.cpp" "src/apps/CMakeFiles/ahn_apps.dir/solvers.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/solvers.cpp.o.d"
+  "/root/repo/src/apps/streamcluster_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/streamcluster_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/streamcluster_app.cpp.o.d"
+  "/root/repo/src/apps/x264_app.cpp" "src/apps/CMakeFiles/ahn_apps.dir/x264_app.cpp.o" "gcc" "src/apps/CMakeFiles/ahn_apps.dir/x264_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/ahn_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ahn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ahn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_apps.dir/amg_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/amg_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/application.cpp.o"
+  "CMakeFiles/ahn_apps.dir/application.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/blackscholes_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/blackscholes_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/canneal_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/canneal_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/cg_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/cg_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/fft.cpp.o"
+  "CMakeFiles/ahn_apps.dir/fft.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/fft_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/fft_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/fluidanimate_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/fluidanimate_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/laghos_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/laghos_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/mg_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/mg_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/miniqmc_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/miniqmc_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/registry.cpp.o"
+  "CMakeFiles/ahn_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/solvers.cpp.o"
+  "CMakeFiles/ahn_apps.dir/solvers.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/streamcluster_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/streamcluster_app.cpp.o.d"
+  "CMakeFiles/ahn_apps.dir/x264_app.cpp.o"
+  "CMakeFiles/ahn_apps.dir/x264_app.cpp.o.d"
+  "libahn_apps.a"
+  "libahn_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoencoder/autoencoder.cpp" "src/autoencoder/CMakeFiles/ahn_autoencoder.dir/autoencoder.cpp.o" "gcc" "src/autoencoder/CMakeFiles/ahn_autoencoder.dir/autoencoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ahn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ahn_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ahn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ahn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_autoencoder.dir/autoencoder.cpp.o"
+  "CMakeFiles/ahn_autoencoder.dir/autoencoder.cpp.o.d"
+  "libahn_autoencoder.a"
+  "libahn_autoencoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_autoencoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_baselines.dir/accept.cpp.o"
+  "CMakeFiles/ahn_baselines.dir/accept.cpp.o.d"
+  "CMakeFiles/ahn_baselines.dir/perforation.cpp.o"
+  "CMakeFiles/ahn_baselines.dir/perforation.cpp.o.d"
+  "libahn_baselines.a"
+  "libahn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_common.dir/table.cpp.o"
+  "CMakeFiles/ahn_common.dir/table.cpp.o.d"
+  "libahn_common.a"
+  "libahn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

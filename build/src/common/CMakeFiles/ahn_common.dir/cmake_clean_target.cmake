@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libahn_common.a"
+)

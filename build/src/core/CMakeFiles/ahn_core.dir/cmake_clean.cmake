@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_core.dir/config.cpp.o"
+  "CMakeFiles/ahn_core.dir/config.cpp.o.d"
+  "CMakeFiles/ahn_core.dir/evaluation.cpp.o"
+  "CMakeFiles/ahn_core.dir/evaluation.cpp.o.d"
+  "CMakeFiles/ahn_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ahn_core.dir/pipeline.cpp.o.d"
+  "libahn_core.a"
+  "libahn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

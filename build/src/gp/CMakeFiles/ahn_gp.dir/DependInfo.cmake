@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gp/bayesopt.cpp" "src/gp/CMakeFiles/ahn_gp.dir/bayesopt.cpp.o" "gcc" "src/gp/CMakeFiles/ahn_gp.dir/bayesopt.cpp.o.d"
+  "/root/repo/src/gp/gaussian_process.cpp" "src/gp/CMakeFiles/ahn_gp.dir/gaussian_process.cpp.o" "gcc" "src/gp/CMakeFiles/ahn_gp.dir/gaussian_process.cpp.o.d"
+  "/root/repo/src/gp/linalg.cpp" "src/gp/CMakeFiles/ahn_gp.dir/linalg.cpp.o" "gcc" "src/gp/CMakeFiles/ahn_gp.dir/linalg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ahn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

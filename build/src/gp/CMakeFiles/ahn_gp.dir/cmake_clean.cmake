@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_gp.dir/bayesopt.cpp.o"
+  "CMakeFiles/ahn_gp.dir/bayesopt.cpp.o.d"
+  "CMakeFiles/ahn_gp.dir/gaussian_process.cpp.o"
+  "CMakeFiles/ahn_gp.dir/gaussian_process.cpp.o.d"
+  "CMakeFiles/ahn_gp.dir/linalg.cpp.o"
+  "CMakeFiles/ahn_gp.dir/linalg.cpp.o.d"
+  "libahn_gp.a"
+  "libahn_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

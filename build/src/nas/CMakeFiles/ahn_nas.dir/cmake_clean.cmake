@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_nas.dir/baseline_searchers.cpp.o"
+  "CMakeFiles/ahn_nas.dir/baseline_searchers.cpp.o.d"
+  "CMakeFiles/ahn_nas.dir/search_task.cpp.o"
+  "CMakeFiles/ahn_nas.dir/search_task.cpp.o.d"
+  "CMakeFiles/ahn_nas.dir/two_d_nas.cpp.o"
+  "CMakeFiles/ahn_nas.dir/two_d_nas.cpp.o.d"
+  "libahn_nas.a"
+  "libahn_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

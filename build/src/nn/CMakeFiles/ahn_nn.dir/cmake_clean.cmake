@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_nn.dir/layers.cpp.o"
+  "CMakeFiles/ahn_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/ahn_nn.dir/loss.cpp.o"
+  "CMakeFiles/ahn_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/ahn_nn.dir/network.cpp.o"
+  "CMakeFiles/ahn_nn.dir/network.cpp.o.d"
+  "CMakeFiles/ahn_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/ahn_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ahn_nn.dir/topology.cpp.o"
+  "CMakeFiles/ahn_nn.dir/topology.cpp.o.d"
+  "CMakeFiles/ahn_nn.dir/train.cpp.o"
+  "CMakeFiles/ahn_nn.dir/train.cpp.o.d"
+  "libahn_nn.a"
+  "libahn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_runtime.dir/deployment.cpp.o"
+  "CMakeFiles/ahn_runtime.dir/deployment.cpp.o.d"
+  "CMakeFiles/ahn_runtime.dir/orchestrator.cpp.o"
+  "CMakeFiles/ahn_runtime.dir/orchestrator.cpp.o.d"
+  "libahn_runtime.a"
+  "libahn_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

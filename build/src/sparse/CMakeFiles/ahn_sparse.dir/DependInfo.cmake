@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/formats.cpp" "src/sparse/CMakeFiles/ahn_sparse.dir/formats.cpp.o" "gcc" "src/sparse/CMakeFiles/ahn_sparse.dir/formats.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/ahn_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/ahn_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/spmv.cpp" "src/sparse/CMakeFiles/ahn_sparse.dir/spmv.cpp.o" "gcc" "src/sparse/CMakeFiles/ahn_sparse.dir/spmv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ahn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ahn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_sparse.dir/formats.cpp.o"
+  "CMakeFiles/ahn_sparse.dir/formats.cpp.o.d"
+  "CMakeFiles/ahn_sparse.dir/generators.cpp.o"
+  "CMakeFiles/ahn_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/ahn_sparse.dir/spmv.cpp.o"
+  "CMakeFiles/ahn_sparse.dir/spmv.cpp.o.d"
+  "libahn_sparse.a"
+  "libahn_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_tensor.dir/ops.cpp.o"
+  "CMakeFiles/ahn_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/ahn_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/ahn_tensor.dir/tensor.cpp.o.d"
+  "libahn_tensor.a"
+  "libahn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/dddg.cpp" "src/trace/CMakeFiles/ahn_trace.dir/dddg.cpp.o" "gcc" "src/trace/CMakeFiles/ahn_trace.dir/dddg.cpp.o.d"
+  "/root/repo/src/trace/features.cpp" "src/trace/CMakeFiles/ahn_trace.dir/features.cpp.o" "gcc" "src/trace/CMakeFiles/ahn_trace.dir/features.cpp.o.d"
+  "/root/repo/src/trace/recorder.cpp" "src/trace/CMakeFiles/ahn_trace.dir/recorder.cpp.o" "gcc" "src/trace/CMakeFiles/ahn_trace.dir/recorder.cpp.o.d"
+  "/root/repo/src/trace/sampling.cpp" "src/trace/CMakeFiles/ahn_trace.dir/sampling.cpp.o" "gcc" "src/trace/CMakeFiles/ahn_trace.dir/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ahn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ahn_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ahn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ahn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

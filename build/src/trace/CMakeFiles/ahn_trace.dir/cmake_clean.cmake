@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ahn_trace.dir/dddg.cpp.o"
+  "CMakeFiles/ahn_trace.dir/dddg.cpp.o.d"
+  "CMakeFiles/ahn_trace.dir/features.cpp.o"
+  "CMakeFiles/ahn_trace.dir/features.cpp.o.d"
+  "CMakeFiles/ahn_trace.dir/recorder.cpp.o"
+  "CMakeFiles/ahn_trace.dir/recorder.cpp.o.d"
+  "CMakeFiles/ahn_trace.dir/sampling.cpp.o"
+  "CMakeFiles/ahn_trace.dir/sampling.cpp.o.d"
+  "libahn_trace.a"
+  "libahn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ahn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoencoder.dir/test_autoencoder.cpp.o"
+  "CMakeFiles/test_autoencoder.dir/test_autoencoder.cpp.o.d"
+  "test_autoencoder"
+  "test_autoencoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoencoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

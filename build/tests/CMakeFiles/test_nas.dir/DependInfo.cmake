@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_nas.cpp" "tests/CMakeFiles/test_nas.dir/test_nas.cpp.o" "gcc" "tests/CMakeFiles/test_nas.dir/test_nas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ahn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ahn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/ahn_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/ahn_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/ahn_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ahn_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/autoencoder/CMakeFiles/ahn_autoencoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ahn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ahn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/ahn_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ahn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ahn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
