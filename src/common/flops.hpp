@@ -7,6 +7,7 @@
 // through this counter; the device model (src/runtime/device.hpp) converts
 // the totals into modeled execution time and cache behaviour.
 
+#include <atomic>
 #include <cstdint>
 
 namespace ahn {
@@ -38,7 +39,9 @@ struct OpCounts {
 inline OpCounts operator+(OpCounts a, const OpCounts& b) noexcept { return a += b; }
 
 /// Global accumulation point; kernels that want their cost modeled call
-/// FlopCounter::add. Scoped regions can snapshot/diff.
+/// FlopCounter::add. Scoped regions can snapshot/diff. Counters are relaxed
+/// atomics: the serving runtime runs inference kernels from many client and
+/// pool threads concurrently, and each field is an independent tally.
 class FlopCounter {
  public:
   static FlopCounter& instance() noexcept {
@@ -46,12 +49,26 @@ class FlopCounter {
     return c;
   }
 
-  void add(const OpCounts& c) noexcept { total_ += c; }
-  void reset() noexcept { total_ = {}; }
-  [[nodiscard]] const OpCounts& total() const noexcept { return total_; }
+  void add(const OpCounts& c) noexcept {
+    flops_.fetch_add(c.flops, std::memory_order_relaxed);
+    bytes_read_.fetch_add(c.bytes_read, std::memory_order_relaxed);
+    bytes_written_.fetch_add(c.bytes_written, std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    flops_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
+  }
+  [[nodiscard]] OpCounts total() const noexcept {
+    return {flops_.load(std::memory_order_relaxed),
+            bytes_read_.load(std::memory_order_relaxed),
+            bytes_written_.load(std::memory_order_relaxed)};
+  }
 
  private:
-  OpCounts total_;
+  std::atomic<std::uint64_t> flops_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
 };
 
 /// RAII region: captures the OpCounts added between construction and read().
@@ -60,7 +77,7 @@ class FlopRegion {
   FlopRegion() noexcept : start_(FlopCounter::instance().total()) {}
 
   [[nodiscard]] OpCounts delta() const noexcept {
-    const OpCounts& now = FlopCounter::instance().total();
+    const OpCounts now = FlopCounter::instance().total();
     OpCounts d;
     d.flops = now.flops - start_.flops;
     d.bytes_read = now.bytes_read - start_.bytes_read;

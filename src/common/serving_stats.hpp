@@ -1,0 +1,133 @@
+#pragma once
+// Thread-safe serving metrics for the §6.3 deployment path: request and
+// batch counters, the batch-size histogram produced by the micro-batching
+// queue, the §7.1 QoI-fallback tally, and per-phase latency percentiles over
+// the §7.3 online breakdown (fetch / encode / load / run).
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace ahn {
+
+/// One request's modeled online phase latencies (§7.3 breakdown), seconds.
+struct RequestPhases {
+  double fetch = 0.0;
+  double encode = 0.0;
+  double load = 0.0;
+  double run = 0.0;
+
+  [[nodiscard]] double total() const noexcept { return fetch + encode + load + run; }
+};
+
+/// Immutable copy of the collector state at one point in time.
+struct ServingStatsSnapshot {
+  std::uint64_t requests_served = 0;
+  std::uint64_t batches_executed = 0;
+  std::uint64_t qoi_fallbacks = 0;
+  std::map<std::size_t, std::uint64_t> batch_histogram;  ///< batch size -> count
+
+  [[nodiscard]] double mean_batch_size() const noexcept {
+    return batches_executed > 0
+               ? static_cast<double>(requests_served) /
+                     static_cast<double>(batches_executed)
+               : 0.0;
+  }
+};
+
+/// Serving-side metrics collector. Every member is safe to call from any
+/// client, pool, or flusher thread; readers take the same mutex as writers,
+/// so snapshots are consistent (no torn counters).
+class ServingStats {
+ public:
+  /// Records one served request and its per-phase modeled latency.
+  void record_request(const RequestPhases& phases) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    fetch_.push_back(phases.fetch);
+    encode_.push_back(phases.encode);
+    load_.push_back(phases.load);
+    run_.push_back(phases.run);
+    total_.push_back(phases.total());
+  }
+
+  /// Records one executed batch of `size` coalesced requests (size >= 1).
+  void record_batch(std::size_t size) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++batches_;
+    ++histogram_[size];
+  }
+
+  /// Records a §7.1 QoI miss that re-ran the original code region.
+  void record_qoi_fallback() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++fallbacks_;
+  }
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return requests_;
+  }
+  [[nodiscard]] std::uint64_t batches_executed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return batches_;
+  }
+  [[nodiscard]] std::uint64_t qoi_fallbacks() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return fallbacks_;
+  }
+
+  /// Latency percentile (p in [0, 100]) for one phase: "fetch", "encode",
+  /// "load", "run" or "total". Returns 0 when no requests were recorded.
+  [[nodiscard]] double latency_percentile(const std::string& phase, double p) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const std::vector<double>* samples = phase_samples(phase);
+    AHN_CHECK_MSG(samples != nullptr, "unknown serving phase '" << phase << "'");
+    if (samples->empty()) return 0.0;
+    return percentile(*samples, p);  // copies; sorting must not mutate state
+  }
+
+  [[nodiscard]] ServingStatsSnapshot snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ServingStatsSnapshot s;
+    s.requests_served = requests_;
+    s.batches_executed = batches_;
+    s.qoi_fallbacks = fallbacks_;
+    s.batch_histogram = histogram_;
+    return s;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    requests_ = batches_ = fallbacks_ = 0;
+    histogram_.clear();
+    fetch_.clear();
+    encode_.clear();
+    load_.clear();
+    run_.clear();
+    total_.clear();
+  }
+
+ private:
+  [[nodiscard]] const std::vector<double>* phase_samples(const std::string& phase) const {
+    if (phase == "fetch") return &fetch_;
+    if (phase == "encode") return &encode_;
+    if (phase == "load") return &load_;
+    if (phase == "run") return &run_;
+    if (phase == "total") return &total_;
+    return nullptr;
+  }
+
+  mutable std::mutex mu_;
+  std::uint64_t requests_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::map<std::size_t, std::uint64_t> histogram_;
+  std::vector<double> fetch_, encode_, load_, run_, total_;
+};
+
+}  // namespace ahn

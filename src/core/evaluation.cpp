@@ -41,8 +41,14 @@ AppEvaluation evaluate_pipeline(const apps::Application& app,
     if (!hit && opts.fallback_on_miss) {
       // §7.1: the application restarts and runs the original code region.
       surr += exact.region_seconds;
+      if (opts.stats != nullptr) opts.stats->record_qoi_fallback();
     }
     ev.surrogate_seconds += surr;
+
+    if (opts.stats != nullptr) {
+      opts.stats->record_request({inf.timing.fetch_seconds, inf.timing.encode_seconds,
+                                  inf.timing.load_seconds, inf.timing.run_seconds});
+    }
 
     ev.breakdown.fetch += inf.timing.fetch_seconds;
     ev.breakdown.encode += inf.timing.encode_seconds;

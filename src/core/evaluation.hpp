@@ -5,6 +5,7 @@
 
 #include <span>
 
+#include "common/serving_stats.hpp"
 #include "apps/application.hpp"
 #include "nas/search_task.hpp"
 #include "runtime/deployment.hpp"
@@ -32,6 +33,8 @@ struct AppEvaluation {
 struct EvalOptions {
   double mu = 0.1;             ///< Eqn-3 acceptance bound
   bool fallback_on_miss = true;///< restart with the original code on a miss
+  ServingStats* stats = nullptr;///< optional serving-metrics sink (QoI
+                               ///  fallbacks + per-request phase latency)
 };
 
 /// Evaluates a searched pipeline on the given problems of `app`.

@@ -10,6 +10,7 @@
 // Convention: activations flow as rank-2 tensors (batch x features). Conv
 // and pooling layers interpret the feature axis as channels x length.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -119,7 +120,9 @@ class ActivationLayer final : public Layer {
  private:
   Activation act_;
   Tensor x_cache_, y_cache_;
-  std::size_t last_features_ = 0;
+  // Relaxed atomic: concurrent inference threads all store the same width,
+  // and inference_cost may race with a forward on another thread.
+  std::atomic<std::size_t> last_features_{0};
 };
 
 /// Inverted dropout (train-time only).

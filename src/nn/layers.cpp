@@ -94,7 +94,7 @@ std::unique_ptr<Layer> DenseLayer::clone() const {
 // ---------------------------------------------------------------- Activation
 
 Tensor ActivationLayer::forward(const Tensor& x, bool training) {
-  last_features_ = x.cols();
+  last_features_.store(x.cols(), std::memory_order_relaxed);
   Tensor y = x;
   for (std::size_t i = 0; i < y.size(); ++i) y[i] = activate(act_, x[i]);
   if (training) {
@@ -117,10 +117,11 @@ Tensor ActivationLayer::backward(const Tensor& grad_out) {
 }
 
 OpCounts ActivationLayer::inference_cost(std::size_t batch) const {
+  const std::size_t features = last_features_.load(std::memory_order_relaxed);
   OpCounts c;
-  c.flops = batch * last_features_;
-  c.bytes_read = sizeof(double) * batch * last_features_;
-  c.bytes_written = sizeof(double) * batch * last_features_;
+  c.flops = batch * features;
+  c.bytes_read = sizeof(double) * batch * features;
+  c.bytes_written = sizeof(double) * batch * features;
   return c;
 }
 
@@ -271,11 +272,16 @@ MaxPool1dLayer::MaxPool1dLayer(std::size_t channels, std::size_t length,
 
 Tensor MaxPool1dLayer::forward(const Tensor& x, bool training) {
   AHN_CHECK(x.cols() == channels_ * length_);
-  batch_ = x.rows();
+  const std::size_t batch = x.rows();
   const std::size_t out_len = length_ / window_;
-  Tensor y({batch_, channels_ * out_len});
-  if (training) argmax_.assign(batch_ * channels_ * out_len, 0);
-  for (std::size_t n = 0; n < batch_; ++n) {
+  Tensor y({batch, channels_ * out_len});
+  // batch_/argmax_ exist solely for backward; inference must not touch
+  // member state so concurrent predict() calls on a shared network are safe.
+  if (training) {
+    batch_ = batch;
+    argmax_.assign(batch * channels_ * out_len, 0);
+  }
+  for (std::size_t n = 0; n < batch; ++n) {
     const double* xi = x.data() + n * channels_ * length_;
     double* yo = y.data() + n * channels_ * out_len;
     for (std::size_t c = 0; c < channels_; ++c) {

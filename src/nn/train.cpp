@@ -87,6 +87,28 @@ Tensor TrainedSurrogate::predict(const Tensor& x) const {
   return y_norm ? y_norm->invert(pred) : pred;
 }
 
+Tensor pack_rows(std::span<const Tensor> rows) {
+  AHN_CHECK_MSG(!rows.empty(), "pack_rows needs at least one row");
+  auto row_width = [](const Tensor& t) {
+    return t.rank() == 1 ? t.size() : t.cols();
+  };
+  const std::size_t width = row_width(rows.front());
+  Tensor batch({rows.size(), width});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Tensor& t = rows[r];
+    AHN_CHECK_MSG(t.rank() == 1 || (t.rank() == 2 && t.rows() == 1),
+                  "pack_rows expects single rows, got shape " << t.shape_string());
+    AHN_CHECK_MSG(row_width(t) == width, "batched rows must share a width: got "
+                                             << row_width(t) << " and " << width);
+    std::copy(t.flat().begin(), t.flat().end(), batch.row(r).begin());
+  }
+  return batch;
+}
+
+Tensor TrainedSurrogate::predict_rows(std::span<const Tensor> rows) const {
+  return predict(pack_rows(rows));
+}
+
 TrainedSurrogate train_surrogate(Network net, const Dataset& data,
                                  const TrainOptions& opts) {
   AHN_CHECK(data.size() >= 2);

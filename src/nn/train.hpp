@@ -4,11 +4,17 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 
 #include "common/rng.hpp"
 #include "nn/network.hpp"
 
 namespace ahn::nn {
+
+/// Stacks single-row tensors (rank-1, or rank-2 with one row) into one
+/// (N x F) row-major batch. All rows must share a width. This is the packing
+/// step of the serving runtime's micro-batching path.
+[[nodiscard]] Tensor pack_rows(std::span<const Tensor> rows);
 
 /// In-memory supervised dataset: rows of (input features, output features).
 struct Dataset {
@@ -72,6 +78,13 @@ struct TrainedSurrogate {
 
   /// End-to-end prediction: normalize -> net -> denormalize.
   [[nodiscard]] Tensor predict(const Tensor& x) const;
+
+  /// Batched serving entry point: packs N pending single-row requests and
+  /// runs ONE normalize -> forward -> denormalize pass over the whole batch.
+  /// Row i of the result is bitwise-identical to predict(rows[i]) because
+  /// every kernel in the stack accumulates each output row independently in
+  /// a fixed order; the batch only amortizes per-call overhead.
+  [[nodiscard]] Tensor predict_rows(std::span<const Tensor> rows) const;
 };
 
 [[nodiscard]] TrainedSurrogate train_surrogate(Network net, const Dataset& data,

@@ -1,0 +1,99 @@
+#include "runtime/batching_queue.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "nn/train.hpp"
+
+namespace ahn::runtime {
+
+BatchingQueue::BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingStats* stats)
+    : run_batch_(std::move(run_batch)), opts_(opts), stats_(stats) {
+  AHN_CHECK(run_batch_ != nullptr);
+  AHN_CHECK_MSG(opts_.max_batch >= 1, "max_batch must be at least 1");
+  if (opts_.max_delay_seconds > 0.0) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+}
+
+BatchingQueue::~BatchingQueue() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  flush();  // nothing new can arrive; resolve any stragglers
+}
+
+std::future<Tensor> BatchingQueue::submit(const std::string& model, Tensor row) {
+  if (row.rank() == 1) row.reshape({1, row.size()});
+  AHN_CHECK_MSG(row.rank() == 2 && row.rows() == 1,
+                "batched submit expects a single row, got shape " << row.shape_string());
+
+  std::promise<Tensor> promise;
+  std::future<Tensor> result = promise.get_future();
+  PendingBatch ready;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    PendingBatch& pending = pending_[model];
+    pending.rows.push_back(std::move(row));
+    pending.promises.push_back(std::move(promise));
+    if (pending.rows.size() >= opts_.max_batch) ready = take_locked(model);
+  }
+  // Leader executes outside the lock: other clients keep filling the next
+  // batch (and other models' batches) while this one runs.
+  if (!ready.rows.empty()) execute(model, std::move(ready));
+  return result;
+}
+
+void BatchingQueue::flush() {
+  std::vector<std::pair<std::string, PendingBatch>> ready;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [model, pending] : pending_) {
+      if (!pending.rows.empty()) ready.emplace_back(model, take_locked(model));
+    }
+  }
+  for (auto& [model, batch] : ready) execute(model, std::move(batch));
+}
+
+BatchingQueue::PendingBatch BatchingQueue::take_locked(const std::string& model) {
+  return std::exchange(pending_[model], PendingBatch{});
+}
+
+void BatchingQueue::execute(const std::string& model, PendingBatch batch) {
+  try {
+    const Tensor out = run_batch_(model, nn::pack_rows(batch.rows));
+    AHN_CHECK_MSG(out.rank() == 2 && out.rows() == batch.rows.size(),
+                  "batch executor returned " << out.shape_string() << " for "
+                                             << batch.rows.size() << " rows");
+    if (stats_ != nullptr) stats_->record_batch(batch.rows.size());
+    for (std::size_t r = 0; r < batch.promises.size(); ++r) {
+      Tensor row({1, out.cols()});
+      std::copy(out.row(r).begin(), out.row(r).end(), row.row(0).begin());
+      batch.promises[r].set_value(std::move(row));
+    }
+  } catch (...) {
+    for (auto& p : batch.promises) p.set_exception(std::current_exception());
+  }
+}
+
+void BatchingQueue::flusher_loop() {
+  const auto period = std::chrono::duration<double>(opts_.max_delay_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    stop_cv_.wait_for(lock, period);
+    if (stop_) return;  // destructor performs the final drain
+    std::vector<std::pair<std::string, PendingBatch>> ready;
+    for (auto& [model, pending] : pending_) {
+      if (!pending.rows.empty()) ready.emplace_back(model, take_locked(model));
+    }
+    lock.unlock();
+    for (auto& [model, batch] : ready) execute(model, std::move(batch));
+    lock.lock();
+  }
+}
+
+}  // namespace ahn::runtime

@@ -1,0 +1,81 @@
+#pragma once
+// Micro-batching for single-row inference requests (§7.3 amortization):
+// pending requests against the same model are coalesced into one batched
+// forward — one fetch, one encode, one weight-load, one GEMM — instead of B
+// independent single-row passes. Because the NN stack's GEMM accumulates
+// each output row independently in a fixed order, a batched forward returns
+// bitwise-identical rows to B separate one-row forwards.
+//
+// Dispatch policy: the client thread whose submit() fills a batch to
+// `max_batch` executes that batch inline ("leader executes" — natural
+// backpressure, no handoff latency); a background flusher thread sweeps
+// stragglers every `max_delay_seconds` so a partially-filled batch is never
+// stranded. flush() force-drains synchronously (used by tests and by
+// clients that need a latency bound tighter than the flusher period).
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/serving_stats.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ahn::runtime {
+
+struct BatchingOptions {
+  std::size_t max_batch = 32;          ///< coalesce at most this many rows
+  double max_delay_seconds = 200e-6;   ///< flusher sweep period
+};
+
+class BatchingQueue {
+ public:
+  /// `run_batch` executes one coalesced (B x features) batch for `model` and
+  /// returns the (B x outputs) result. It is called from client threads (on
+  /// batch-full) and from the flusher thread, potentially concurrently for
+  /// different batches — it must be thread-safe.
+  using BatchFn = std::function<Tensor(const std::string& model, const Tensor& batch)>;
+
+  BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingStats* stats = nullptr);
+  ~BatchingQueue();  ///< stops the flusher after a final drain
+
+  BatchingQueue(const BatchingQueue&) = delete;
+  BatchingQueue& operator=(const BatchingQueue&) = delete;
+
+  /// Enqueues one inference row (rank-1, or rank-2 with a single row) for
+  /// `model`. The future resolves to the (1 x outputs) result row; a failed
+  /// batch execution propagates its exception through every affected future.
+  [[nodiscard]] std::future<Tensor> submit(const std::string& model, Tensor row);
+
+  /// Synchronously executes every pending batch on the calling thread.
+  void flush();
+
+  [[nodiscard]] const BatchingOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct PendingBatch {
+    std::vector<Tensor> rows;                   // each (1 x features)
+    std::vector<std::promise<Tensor>> promises;
+  };
+
+  /// Takes ownership of one model's pending batch (caller executes it).
+  [[nodiscard]] PendingBatch take_locked(const std::string& model);
+  void execute(const std::string& model, PendingBatch batch);
+  void flusher_loop();
+
+  BatchFn run_batch_;
+  BatchingOptions opts_;
+  ServingStats* stats_;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, PendingBatch> pending_;
+  bool stop_ = false;
+  std::condition_variable stop_cv_;  ///< wakes the flusher early on shutdown
+  std::thread flusher_;
+};
+
+}  // namespace ahn::runtime

@@ -4,22 +4,41 @@
 // tensor store shared between the HPC application and the NN runtime, a
 // model registry, and a lightweight client (Listing 1's API: put_tensor /
 // run_model / unpack_tensor) compiled into the application.
+//
+// Concurrency model (docs/SERVING.md has the full contract):
+//  * the tensor store is mutex-striped (ShardedTensorStore) — puts/gets on
+//    different keys from many client threads do not serialize;
+//  * the model registry is read-mostly (shared_mutex: concurrent lookups,
+//    exclusive registration);
+//  * run_model_async dispatches inference to a lazily-created thread pool;
+//  * run_model_batched coalesces single-row requests per model into one
+//    batched forward (BatchingQueue), amortizing the fetch/encode/load
+//    phases of the §7.3 cost breakdown across the batch;
+//  * every served request is tallied in a ServingStats collector.
 
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/serving_stats.hpp"
 #include "common/timer.hpp"
 #include "nn/train.hpp"
+#include "runtime/batching_queue.hpp"
 #include "runtime/device.hpp"
+#include "runtime/sharded_store.hpp"
+#include "runtime/thread_pool.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ahn::runtime {
 
 /// A servable model: an optional feature-reduction encoder in front of the
-/// trained surrogate (both execute "on device" via the device model).
+/// trained surrogate (both execute "on device" via the device model). The
+/// encode callable must be stateless/thread-safe: batched and concurrent
+/// paths invoke it from multiple threads.
 struct ServableModel {
   std::function<Tensor(const Tensor&)> encode;  ///< may be empty (no reduction)
   OpCounts encode_ops;                           ///< per-row encode cost
@@ -27,10 +46,30 @@ struct ServableModel {
   OpCounts infer_ops;                            ///< per-row inference cost
 };
 
+/// Serving-side tuning knobs (defaults suit tests and small deployments).
+struct OrchestratorOptions {
+  std::size_t store_shards = ShardedTensorStore::kDefaultShards;
+  std::size_t pool_threads = 4;        ///< run_model_async executor width
+  std::size_t max_batch = 32;          ///< micro-batch coalescing bound
+  double batch_delay_seconds = 200e-6; ///< straggler flush period (<=0: off)
+  /// When true, each executed batch occupies the caller for its modeled
+  /// device time (busy-wait on the §7.3 fetch+encode+load+run total). This
+  /// makes wall-clock serving measurements honor the analytic accelerator
+  /// model — the testbed has no real device — and is what the
+  /// serving-throughput bench turns on. Off by default: the pipeline and
+  /// tests want modeled time accounted, not elapsed.
+  bool simulate_device_occupancy = false;
+};
+
 /// The keyed tensor store + model registry (one per "experiment").
 class Orchestrator {
  public:
-  explicit Orchestrator(DeviceModel device = DeviceModel{}) : device_(device) {}
+  explicit Orchestrator(DeviceModel device = DeviceModel{},
+                        OrchestratorOptions opts = OrchestratorOptions{});
+  ~Orchestrator();
+
+  Orchestrator(const Orchestrator&) = delete;
+  Orchestrator& operator=(const Orchestrator&) = delete;
 
   void put_tensor(const std::string& key, Tensor value);
   [[nodiscard]] Tensor get_tensor(const std::string& key) const;
@@ -47,13 +86,59 @@ class Orchestrator {
   void run_model(const std::string& name, const std::string& in_key,
                  const std::string& out_key, PhaseAccumulator* phases = nullptr);
 
+  /// Asynchronous run_model: returns immediately; the future resolves once
+  /// the result tensor is stored at `out_key` (exceptions — unknown model,
+  /// missing input — surface from future::get()). No PhaseAccumulator
+  /// parameter: per-phase latency is recorded thread-safely in stats().
+  [[nodiscard]] std::future<void> run_model_async(const std::string& name,
+                                                  const std::string& in_key,
+                                                  const std::string& out_key);
+
+  /// Micro-batched single-row inference: bypasses the keyed store and
+  /// coalesces up to OrchestratorOptions::max_batch pending rows for `name`
+  /// into one batched forward. The future resolves to the (1 x outputs)
+  /// result row, bitwise-identical to the row a sync run_model would store.
+  [[nodiscard]] std::future<Tensor> run_model_batched(const std::string& name,
+                                                      Tensor row);
+
+  /// Force-drains partially filled micro-batches (see BatchingQueue::flush).
+  void flush_batches();
+
+  [[nodiscard]] ServingStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const ServingStats& stats() const noexcept { return stats_; }
+
   [[nodiscard]] const DeviceModel& device() const noexcept { return device_; }
+  [[nodiscard]] const OrchestratorOptions& options() const noexcept { return opts_; }
 
  private:
+  /// Shared inference core: encode (optional) + batched surrogate forward,
+  /// with modeled per-phase seconds for the whole batch. Stateless with
+  /// respect to the orchestrator (callable from any thread).
+  [[nodiscard]] Tensor execute(const ServableModel& m, Tensor input,
+                               RequestPhases* batch_phases) const;
+
+  /// Records one executed batch of `rows` requests into stats_ (per-request
+  /// latency = batch phases amortized over the rows).
+  void record_requests(const RequestPhases& batch_phases, std::size_t rows);
+
+  ThreadPool& pool();
+  BatchingQueue& batches();
+
   DeviceModel device_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Tensor> tensors_;
+  OrchestratorOptions opts_;
+  ServingStats stats_;
+
+  ShardedTensorStore tensors_;
+  mutable std::shared_mutex models_mu_;
   std::unordered_map<std::string, std::shared_ptr<const ServableModel>> models_;
+
+  // Both executors are created on first use so sync-only users (most tests,
+  // the pipeline) never spawn threads. Destruction order matters: members
+  // below are destroyed first, joining their threads while the store and
+  // registry above are still alive.
+  std::once_flag pool_once_, batches_once_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<BatchingQueue> batches_;
 };
 
 /// Listing 1's application-side client.
@@ -68,6 +153,19 @@ class Client {
   void run_model(const std::string& name, const std::string& in_key,
                  const std::string& out_key, PhaseAccumulator* phases = nullptr) {
     orc_->run_model(name, in_key, out_key, phases);
+  }
+
+  /// Async variant of the Listing-1 call (see Orchestrator::run_model_async).
+  [[nodiscard]] std::future<void> run_model_async(const std::string& name,
+                                                  const std::string& in_key,
+                                                  const std::string& out_key) {
+    return orc_->run_model_async(name, in_key, out_key);
+  }
+
+  /// Micro-batched single-row inference (see Orchestrator::run_model_batched).
+  [[nodiscard]] std::future<Tensor> run_model_batched(const std::string& name,
+                                                      Tensor row) {
+    return orc_->run_model_batched(name, std::move(row));
   }
 
   [[nodiscard]] Tensor unpack_tensor(const std::string& key) const {

@@ -1,0 +1,87 @@
+#pragma once
+// N-way mutex-striped keyed tensor store — the concurrent replacement for
+// the orchestrator's original single-mutex map. Keys hash to one of N
+// independent shards, each with its own lock and map, so put/get traffic
+// from many client threads only contends when two keys land on the same
+// shard. Values are stored (and returned) by copy: a get never hands out a
+// reference into a shard another thread may mutate.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ahn::runtime {
+
+class ShardedTensorStore {
+ public:
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit ShardedTensorStore(std::size_t shards = kDefaultShards) {
+    AHN_CHECK_MSG(shards >= 1, "tensor store needs at least one shard");
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  void put(const std::string& key, Tensor value) {
+    Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    s.map[key] = std::move(value);
+  }
+
+  [[nodiscard]] Tensor get(const std::string& key) const {
+    const Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    AHN_CHECK_MSG(it != s.map.end(), "no tensor at key '" << key << "'");
+    return it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    const Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.contains(key);
+  }
+
+  /// Removes `key`; returns whether it was present.
+  bool erase(const std::string& key) {
+    Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    return s.map.erase(key) > 0;
+  }
+
+  /// Total tensors stored (locks shards one at a time, so the count is a
+  /// consistent-per-shard approximation under concurrent writes).
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      const std::lock_guard<std::mutex> lock(s->mu);
+      n += s->map.size();
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Tensor> map;
+  };
+
+  [[nodiscard]] Shard& shard_for(const std::string& key) const {
+    return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+
+  // unique_ptr keeps Shard (which owns a mutex) at a stable address and the
+  // container movable; the shard vector itself is immutable after build.
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ahn::runtime

@@ -1,0 +1,57 @@
+#include "runtime/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace ahn::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  AHN_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + in_flight_;
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    AHN_CHECK_MSG(!stop_, "submit on a stopping thread pool");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    job();  // packaged_task captures exceptions into the future
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+    }
+  }
+}
+
+}  // namespace ahn::runtime

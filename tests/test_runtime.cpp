@@ -1,12 +1,21 @@
 // Tests for src/runtime: the roofline device model (monotonicity, profiles,
 // Table-3 cache heuristics), the orchestrator/client tensor store and model
-// registry (Listing 1 semantics), and deployed-surrogate inference timing.
+// registry (Listing 1 semantics), deployed-surrogate inference timing, and
+// the concurrent serving path (sharded store, thread pool, micro-batching).
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
 
 #include "nn/topology.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/orchestrator.hpp"
+#include "runtime/sharded_store.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sparse/generators.hpp"
 
 namespace ahn::runtime {
@@ -191,6 +200,354 @@ TEST(Deployment, EncoderAddsEncodePhase) {
   const InferenceResult res = dep.infer(std::vector<double>(16, 0.5));
   EXPECT_GT(res.timing.encode_seconds, 0.0);
   EXPECT_EQ(res.outputs.size(), 2u);
+}
+
+// ------------------------------------------------------------ ShardedStore
+
+TEST(ShardedStore, BasicPutGetEraseAndSize) {
+  ShardedTensorStore store(/*shards=*/4);
+  EXPECT_EQ(store.shard_count(), 4u);
+  store.put("a", Tensor({1, 2}, {1, 2}));
+  store.put("b", Tensor({1, 1}, {3}));
+  EXPECT_TRUE(store.has("a"));
+  EXPECT_EQ(store.get("b").at(0, 0), 3.0);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.erase("a"));
+  EXPECT_FALSE(store.erase("a"));
+  EXPECT_THROW((void)store.get("a"), Error);
+}
+
+TEST(ShardedStore, EightThreadsNoLostUpdates) {
+  // The satellite stress contract: 8 writer/reader threads hammer the store;
+  // afterwards every key must hold exactly the tensor its writer stored.
+  ShardedTensorStore store;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kKeysPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (std::size_t k = 0; k < kKeysPerThread; ++k) {
+        const std::string key = "t" + std::to_string(t) + ":" + std::to_string(k);
+        const double v = static_cast<double>(t * kKeysPerThread + k);
+        store.put(key, Tensor({1, 3}, {v, v, v}));
+        // Read-your-write while other threads churn their own keyspaces.
+        const Tensor got = store.get(key);
+        EXPECT_EQ(got.at(0, 0), v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(store.size(), kThreads * kKeysPerThread);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    for (std::size_t k = 0; k < kKeysPerThread; ++k) {
+      const std::string key = "t" + std::to_string(t) + ":" + std::to_string(k);
+      const double v = static_cast<double>(t * kKeysPerThread + k);
+      const Tensor got = store.get(key);
+      ASSERT_EQ(got.size(), 3u) << key;
+      EXPECT_EQ(got.at(0, 2), v) << key;
+    }
+  }
+}
+
+TEST(ShardedStore, NoTornReadsUnderContendedOverwrites) {
+  // Writers overwrite the SAME key with internally-uniform tensors; readers
+  // must only ever observe a uniform tensor (value-copy semantics — a torn
+  // or in-place-mutated read would mix two writes).
+  ShardedTensorStore store;
+  std::atomic<bool> go{true};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < 4; ++w) {
+    writers.emplace_back([&store, &go, w] {
+      for (std::size_t i = 0; i < 300 && go.load(); ++i) {
+        const double v = static_cast<double>(w * 1000 + i);
+        store.put("hot", Tensor({1, 16}, std::vector<double>(16, v)));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < 4; ++r) {
+    readers.emplace_back([&store, &go] {
+      for (std::size_t i = 0; i < 300; ++i) {
+        if (!store.has("hot")) continue;
+        Tensor t;
+        try {
+          t = store.get("hot");
+        } catch (const Error&) {
+          continue;  // not yet written
+        }
+        const double first = t.at(0, 0);
+        for (std::size_t c = 1; c < t.cols(); ++c) {
+          if (t.at(0, c) != first) {
+            go.store(false);
+            FAIL() << "torn read: " << t.at(0, c) << " vs " << first;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  for (auto& th : readers) th.join();
+}
+
+// -------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ExecutesSubmittedTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::future<int>> futures;
+  futures.reserve(64);
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw Error("boom"); });
+  EXPECT_THROW((void)f.get(), Error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      // Futures intentionally dropped: destruction must still run the work.
+      (void)pool.submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+// ------------------------------------------------- Concurrent orchestration
+
+TEST(Orchestrator, RunModelAsyncMatchesSyncResults) {
+  Orchestrator orc;
+  orc.set_model("m", tiny_model());
+  Client client(orc);
+
+  // Sync reference for each distinct input.
+  std::vector<Tensor> expected;
+  for (int i = 0; i < 16; ++i) {
+    const double base = 0.1 * i;
+    client.put_tensor("ref_in", Tensor({1, 4}, {base, base + 1, base + 2, base + 3}));
+    client.run_model("m", "ref_in", "ref_out");
+    expected.push_back(client.unpack_tensor("ref_out"));
+  }
+
+  // 8 threads × 2 requests each on distinct keys, concurrently.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&orc, t] {
+      Client c(orc);
+      for (int j = 0; j < 2; ++j) {
+        const int i = t * 2 + j;
+        const double base = 0.1 * i;
+        const std::string in = "in" + std::to_string(i);
+        const std::string out = "out" + std::to_string(i);
+        c.put_tensor(in, Tensor({1, 4}, {base, base + 1, base + 2, base + 3}));
+        c.run_model_async("m", in, out).get();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (int i = 0; i < 16; ++i) {
+    const Tensor got = orc.get_tensor("out" + std::to_string(i));
+    ASSERT_EQ(got.size(), expected[i].size());
+    for (std::size_t c = 0; c < got.size(); ++c) EXPECT_EQ(got[c], expected[i][c]);
+  }
+  EXPECT_GE(orc.stats().requests_served(), 32u);
+}
+
+TEST(Orchestrator, AsyncUnknownModelThrowsFromFuture) {
+  Orchestrator orc;
+  orc.put_tensor("x", Tensor({1, 1}, {1}));
+  auto f = orc.run_model_async("nope", "x", "y");
+  EXPECT_THROW(f.get(), Error);
+}
+
+TEST(Orchestrator, MixedStoreAndInferenceStress) {
+  // The satellite's combined stress: 8 threads hammer put/get/delete while
+  // also issuing run_model_async calls; assert correctness of every result.
+  Orchestrator orc;
+  orc.set_model("m", tiny_model());
+
+  // Reference output for the one shared input row.
+  Client ref(orc);
+  ref.put_tensor("ref_in", Tensor({1, 4}, {1, 2, 3, 4}));
+  ref.run_model("m", "ref_in", "ref_out");
+  const Tensor expected = ref.unpack_tensor("ref_out");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&orc, &expected, t] {
+      Client c(orc);
+      const std::string tid = std::to_string(t);
+      for (int i = 0; i < 25; ++i) {
+        const std::string scratch = "scratch" + tid + "_" + std::to_string(i);
+        c.put_tensor(scratch, Tensor({1, 2}, {double(t), double(i)}));
+        const std::string in = "sin" + tid + "_" + std::to_string(i);
+        const std::string out = "sout" + tid + "_" + std::to_string(i);
+        c.put_tensor(in, Tensor({1, 4}, {1, 2, 3, 4}));
+        auto f = c.run_model_async("m", in, out);
+        EXPECT_TRUE(orc.has_tensor(scratch));
+        orc.delete_tensor(scratch);
+        f.get();
+        const Tensor got = c.unpack_tensor(out);
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], expected[k]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(orc.stats().requests_served(), 8u * 25u + 1u);
+}
+
+// ------------------------------------------------------------ Micro-batching
+
+TEST(Batching, BitwiseIdenticalToPerRowInference) {
+  OrchestratorOptions opts;
+  opts.max_batch = 16;
+  opts.batch_delay_seconds = 0.0;  // flush manually for determinism
+  Orchestrator orc(DeviceModel{}, opts);
+  orc.set_model("m", tiny_model());
+  Client client(orc);
+
+  constexpr std::size_t kRows = 50;  // exercises full and partial batches
+  std::vector<Tensor> rows;
+  std::vector<Tensor> expected;
+  Rng rng(7);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    rows.push_back(Tensor::randn({1, 4}, rng));
+    client.put_tensor("in", rows.back());
+    client.run_model("m", "in", "out");
+    expected.push_back(client.unpack_tensor("out"));
+  }
+
+  std::vector<std::future<Tensor>> futures;
+  futures.reserve(kRows);
+  for (std::size_t i = 0; i < kRows; ++i) {
+    futures.push_back(client.run_model_batched("m", rows[i]));
+  }
+  orc.flush_batches();  // resolve the trailing partial batch
+
+  for (std::size_t i = 0; i < kRows; ++i) {
+    const Tensor got = futures[i].get();
+    ASSERT_EQ(got.size(), expected[i].size());
+    // Bitwise comparison, not EXPECT_NEAR: the batched GEMM accumulates each
+    // row in the same order as the single-row GEMM.
+    EXPECT_EQ(std::memcmp(got.data(), expected[i].data(),
+                          got.size() * sizeof(double)),
+              0)
+        << "row " << i << " diverged";
+  }
+}
+
+TEST(Batching, CoalescesUpToMaxBatch) {
+  OrchestratorOptions opts;
+  opts.max_batch = 16;
+  opts.batch_delay_seconds = 0.0;
+  Orchestrator orc(DeviceModel{}, opts);
+  orc.set_model("m", tiny_model());
+
+  std::vector<std::future<Tensor>> futures;
+  for (std::size_t i = 0; i < 40; ++i) {
+    futures.push_back(orc.run_model_batched("m", Tensor({1, 4}, {1, 2, 3, 4})));
+  }
+  orc.flush_batches();
+  for (auto& f : futures) (void)f.get();
+
+  const ServingStatsSnapshot snap = orc.stats().snapshot();
+  EXPECT_EQ(snap.requests_served, 40u);
+  // 40 rows with max_batch 16 from one thread: 16 + 16 + 8.
+  EXPECT_EQ(snap.batches_executed, 3u);
+  ASSERT_TRUE(snap.batch_histogram.contains(16));
+  EXPECT_EQ(snap.batch_histogram.at(16), 2u);
+  ASSERT_TRUE(snap.batch_histogram.contains(8));
+  EXPECT_EQ(snap.batch_histogram.at(8), 1u);
+  EXPECT_GT(snap.mean_batch_size(), 1.0);
+}
+
+TEST(Batching, ConcurrentSubmittersAllResolve) {
+  OrchestratorOptions opts;
+  opts.max_batch = 8;
+  opts.batch_delay_seconds = 100e-6;  // background flusher handles stragglers
+  Orchestrator orc(DeviceModel{}, opts);
+  orc.set_model("m", tiny_model());
+
+  Client ref(orc);
+  ref.put_tensor("in", Tensor({1, 4}, {1, 2, 3, 4}));
+  ref.run_model("m", "in", "out");
+  const Tensor expected = ref.unpack_tensor("out");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&orc, &expected] {
+      Client c(orc);
+      for (int i = 0; i < 20; ++i) {
+        const Tensor got = c.run_model_batched("m", Tensor({1, 4}, {1, 2, 3, 4})).get();
+        ASSERT_EQ(got.size(), expected.size());
+        for (std::size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], expected[k]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+TEST(Batching, UnknownModelPropagatesThroughFuture) {
+  OrchestratorOptions opts;
+  opts.batch_delay_seconds = 0.0;
+  Orchestrator orc(DeviceModel{}, opts);
+  auto f = orc.run_model_batched("nope", Tensor({1, 4}, {1, 2, 3, 4}));
+  orc.flush_batches();
+  EXPECT_THROW((void)f.get(), Error);
+}
+
+// ------------------------------------------------------------- ServingStats
+
+TEST(ServingStats, CountersHistogramAndPercentiles) {
+  ServingStats stats;
+  stats.record_request({1e-6, 0.0, 2e-6, 3e-6});
+  stats.record_request({3e-6, 0.0, 2e-6, 5e-6});
+  stats.record_batch(2);
+  stats.record_qoi_fallback();
+
+  EXPECT_EQ(stats.requests_served(), 2u);
+  EXPECT_EQ(stats.batches_executed(), 1u);
+  EXPECT_EQ(stats.qoi_fallbacks(), 1u);
+  EXPECT_DOUBLE_EQ(stats.latency_percentile("fetch", 0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(stats.latency_percentile("fetch", 100.0), 3e-6);
+  EXPECT_DOUBLE_EQ(stats.latency_percentile("load", 50.0), 2e-6);
+  EXPECT_DOUBLE_EQ(stats.latency_percentile("total", 100.0), 1e-5);
+  EXPECT_THROW((void)stats.latency_percentile("nope", 50.0), Error);
+
+  const ServingStatsSnapshot snap = stats.snapshot();
+  EXPECT_DOUBLE_EQ(snap.mean_batch_size(), 2.0);
+
+  stats.reset();
+  EXPECT_EQ(stats.requests_served(), 0u);
+  EXPECT_DOUBLE_EQ(stats.latency_percentile("fetch", 50.0), 0.0);
+}
+
+TEST(ServingStats, ThreadSafeUnderConcurrentRecording) {
+  ServingStats stats;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&stats] {
+      for (int i = 0; i < 100; ++i) {
+        stats.record_request({1e-6, 0.0, 1e-6, 1e-6});
+        if (i % 10 == 0) stats.record_batch(10);
+        (void)stats.requests_served();  // concurrent reader
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(stats.requests_served(), 800u);
+  EXPECT_EQ(stats.batches_executed(), 80u);
 }
 
 }  // namespace
