@@ -81,7 +81,7 @@ int main() {
   Timer sync_timer;
   for (std::size_t i = 0; i < total; ++i) {
     client.put_tensor("in", rows[i]);
-    client.run_model("surrogate", "in", "out");
+    if (!client.run_model("surrogate", "in", "out").is_ok()) return 1;
     sync_outputs.push_back(client.unpack_tensor("out"));
   }
   const double sync_seconds = sync_timer.seconds();
@@ -101,14 +101,14 @@ int main() {
     for (std::size_t t = 0; t < kThreads; ++t) {
       threads.emplace_back([&, t] {
         runtime::Client c(orc);
-        std::vector<std::future<Tensor>> futures;
+        std::vector<std::future<Result<Tensor>>> futures;
         futures.reserve(per_thread);
         for (std::size_t i = 0; i < per_thread; ++i) {
           futures.push_back(c.run_model_batched("surrogate", rows[t * per_thread + i]));
         }
         orc.flush_batches();  // don't strand this thread's tail partial batch
         for (std::size_t i = 0; i < per_thread; ++i) {
-          batched_outputs[t * per_thread + i] = futures[i].get();
+          batched_outputs[t * per_thread + i] = futures[i].get().value();
         }
       });
     }

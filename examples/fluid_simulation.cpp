@@ -64,7 +64,10 @@ int main(int argc, char** argv) {
     std::copy(feat.begin(), feat.end(), in.row(0).begin());
     client.put_tensor("in_key", std::move(in));
     const double before = phases.total();
-    client.run_model("AI-CFD-net", "in_key", "out_key", &phases);
+    if (!client.run_model("AI-CFD-net", "in_key", "out_key", &phases).is_ok()) {
+      std::cerr << "surrogate serving failed\n";
+      return 1;
+    }
     const double online_seconds = phases.total() - before;
     const Tensor out = client.unpack_tensor("out_key");
     const std::vector<double> pred(out.row(0).begin(), out.row(0).end());

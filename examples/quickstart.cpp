@@ -66,13 +66,14 @@ int main(int argc, char** argv) {
   orchestrator.set_model("blackscholes-net", std::move(servable));
 
   runtime::Client serving_client(orchestrator);
-  std::vector<std::future<Tensor>> pending;
+  std::vector<std::future<Result<Tensor>>> pending;
   for (const std::size_t p : result.eval_problems) {
     pending.push_back(serving_client.run_model_batched(
         "blackscholes-net", Tensor::vector1d(app->input_features(p))));
   }
   orchestrator.flush_batches();
-  for (auto& f : pending) (void)f.get();
+  for (auto& f : pending) (void)f.get().value();
+  orchestrator.drain();  // graceful shutdown: every accepted request resolved
 
   const ServingStatsSnapshot serving = orchestrator.stats().snapshot();
   std::cout << "\nServed " << serving.requests_served << " requests in "

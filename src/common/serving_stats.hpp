@@ -1,8 +1,11 @@
 #pragma once
 // Thread-safe serving metrics for the §6.3 deployment path: request and
 // batch counters, the batch-size histogram produced by the micro-batching
-// queue, the §7.1 QoI-fallback tally, and per-phase latency percentiles over
-// the §7.3 online breakdown (fetch / encode / load / run).
+// queue, the §7.1 QoI-fallback tally, per-phase latency percentiles over
+// the §7.3 online breakdown (fetch / encode / load / run), and the
+// reliability-layer counters (injected faults, retries, deadline misses,
+// shutdown rejections, circuit-breaker fallbacks and state transitions —
+// docs/RELIABILITY.md).
 
 #include <cstdint>
 #include <map>
@@ -29,6 +32,14 @@ struct ServingStatsSnapshot {
   std::uint64_t requests_served = 0;
   std::uint64_t batches_executed = 0;
   std::uint64_t qoi_fallbacks = 0;
+  std::uint64_t faults_injected = 0;       ///< total injector firings
+  std::uint64_t retries = 0;               ///< transient-fault retry attempts
+  std::uint64_t deadline_misses = 0;       ///< requests expired unserved
+  std::uint64_t shutdown_rejections = 0;   ///< requests refused while draining
+  std::uint64_t breaker_fallbacks = 0;     ///< requests routed to original code
+                                           ///  by an open/half-open breaker
+  std::map<std::string, std::uint64_t> fault_kinds;  ///< kind -> firings
+  std::map<std::string, std::uint64_t> breaker_transitions;  ///< "a->b" -> count
   std::map<std::size_t, std::uint64_t> batch_histogram;  ///< batch size -> count
 
   [[nodiscard]] double mean_batch_size() const noexcept {
@@ -68,6 +79,45 @@ class ServingStats {
     ++fallbacks_;
   }
 
+  /// Records one injected fault of `kind` ("latency_spike", "transient",
+  /// "nan_corruption", "batch_drop").
+  void record_fault_injected(const std::string& kind) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++faults_;
+    ++fault_kinds_[kind];
+  }
+
+  /// Records one retry attempt after a transient fault.
+  void record_retry() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++retries_;
+  }
+
+  /// Records one request that expired (kDeadlineExceeded) before being served.
+  void record_deadline_miss() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++deadline_misses_;
+  }
+
+  /// Records one request refused with kShuttingDown.
+  void record_shutdown_rejection() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++shutdown_rejections_;
+  }
+
+  /// Records one request the QoI circuit breaker routed straight to the
+  /// original-code path (open or exhausted half-open state).
+  void record_breaker_fallback() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++breaker_fallbacks_;
+  }
+
+  /// Records one breaker state transition, keyed "from->to".
+  void record_breaker_transition(const std::string& from, const std::string& to) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++breaker_transitions_[from + "->" + to];
+  }
+
   [[nodiscard]] std::uint64_t requests_served() const {
     const std::lock_guard<std::mutex> lock(mu_);
     return requests_;
@@ -79,6 +129,33 @@ class ServingStats {
   [[nodiscard]] std::uint64_t qoi_fallbacks() const {
     const std::lock_guard<std::mutex> lock(mu_);
     return fallbacks_;
+  }
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return faults_;
+  }
+  [[nodiscard]] std::uint64_t retries() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return retries_;
+  }
+  [[nodiscard]] std::uint64_t deadline_misses() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return deadline_misses_;
+  }
+  [[nodiscard]] std::uint64_t shutdown_rejections() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_rejections_;
+  }
+  [[nodiscard]] std::uint64_t breaker_fallbacks() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return breaker_fallbacks_;
+  }
+  /// Count of `from`->`to` breaker transitions recorded so far.
+  [[nodiscard]] std::uint64_t breaker_transitions(const std::string& from,
+                                                  const std::string& to) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto it = breaker_transitions_.find(from + "->" + to);
+    return it == breaker_transitions_.end() ? 0 : it->second;
   }
 
   /// Latency percentile (p in [0, 100]) for one phase: "fetch", "encode",
@@ -97,6 +174,13 @@ class ServingStats {
     s.requests_served = requests_;
     s.batches_executed = batches_;
     s.qoi_fallbacks = fallbacks_;
+    s.faults_injected = faults_;
+    s.retries = retries_;
+    s.deadline_misses = deadline_misses_;
+    s.shutdown_rejections = shutdown_rejections_;
+    s.breaker_fallbacks = breaker_fallbacks_;
+    s.fault_kinds = fault_kinds_;
+    s.breaker_transitions = breaker_transitions_;
     s.batch_histogram = histogram_;
     return s;
   }
@@ -104,6 +188,10 @@ class ServingStats {
   void reset() {
     const std::lock_guard<std::mutex> lock(mu_);
     requests_ = batches_ = fallbacks_ = 0;
+    faults_ = retries_ = deadline_misses_ = shutdown_rejections_ = 0;
+    breaker_fallbacks_ = 0;
+    fault_kinds_.clear();
+    breaker_transitions_.clear();
     histogram_.clear();
     fetch_.clear();
     encode_.clear();
@@ -126,6 +214,13 @@ class ServingStats {
   std::uint64_t requests_ = 0;
   std::uint64_t batches_ = 0;
   std::uint64_t fallbacks_ = 0;
+  std::uint64_t faults_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t shutdown_rejections_ = 0;
+  std::uint64_t breaker_fallbacks_ = 0;
+  std::map<std::string, std::uint64_t> fault_kinds_;
+  std::map<std::string, std::uint64_t> breaker_transitions_;
   std::map<std::size_t, std::uint64_t> histogram_;
   std::vector<double> fetch_, encode_, load_, run_, total_;
 };

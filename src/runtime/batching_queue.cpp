@@ -1,6 +1,5 @@
 #include "runtime/batching_queue.hpp"
 
-#include <chrono>
 #include <utility>
 
 #include "common/error.hpp"
@@ -18,33 +17,56 @@ BatchingQueue::BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingSta
 }
 
 BatchingQueue::~BatchingQueue() {
+  std::vector<std::pair<std::string, PendingBatch>> stranded;
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
     stop_ = true;
+    stranded = take_all_locked();
   }
   stop_cv_.notify_all();
   if (flusher_.joinable()) flusher_.join();
-  flush();  // nothing new can arrive; resolve any stragglers
+  // Requests still pending at teardown are completed with a typed status —
+  // never a broken promise, and no surprise inference on a dying queue.
+  // Callers that want stragglers *served* call drain() (or flush()) first.
+  for (auto& [model, batch] : stranded) {
+    fail_batch(std::move(batch), Status(StatusCode::kShuttingDown,
+                                        "batching queue destroyed"));
+  }
 }
 
-std::future<Tensor> BatchingQueue::submit(const std::string& model, Tensor row) {
+std::future<Result<Tensor>> BatchingQueue::submit(const std::string& model,
+                                                  Tensor row, Deadline deadline) {
   if (row.rank() == 1) row.reshape({1, row.size()});
   AHN_CHECK_MSG(row.rank() == 2 && row.rows() == 1,
                 "batched submit expects a single row, got shape " << row.shape_string());
 
-  std::promise<Tensor> promise;
-  std::future<Tensor> result = promise.get_future();
+  std::promise<Result<Tensor>> promise;
+  std::future<Result<Tensor>> result = promise.get_future();
+
+  if (deadline.has_value() && Clock::now() >= *deadline) {
+    if (stats_ != nullptr) stats_->record_deadline_miss();
+    promise.set_value(Status(StatusCode::kDeadlineExceeded, "expired before enqueue"));
+    return result;
+  }
+
   PendingBatch ready;
   {
     const std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      if (stats_ != nullptr) stats_->record_shutdown_rejection();
+      promise.set_value(Status(StatusCode::kShuttingDown, "batching queue draining"));
+      return result;
+    }
     PendingBatch& pending = pending_[model];
     pending.rows.push_back(std::move(row));
     pending.promises.push_back(std::move(promise));
+    pending.deadlines.push_back(deadline);
     if (pending.rows.size() >= opts_.max_batch) ready = take_locked(model);
   }
   // Leader executes outside the lock: other clients keep filling the next
   // batch (and other models' batches) while this one runs.
-  if (!ready.rows.empty()) execute(model, std::move(ready));
+  if (!ready.empty()) execute(model, std::move(ready));
   return result;
 }
 
@@ -52,31 +74,81 @@ void BatchingQueue::flush() {
   std::vector<std::pair<std::string, PendingBatch>> ready;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [model, pending] : pending_) {
-      if (!pending.rows.empty()) ready.emplace_back(model, take_locked(model));
-    }
+    ready = take_all_locked();
   }
   for (auto& [model, batch] : ready) execute(model, std::move(batch));
+}
+
+void BatchingQueue::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  flush();  // everything accepted before the flag flipped gets served
+}
+
+bool BatchingQueue::draining() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
 }
 
 BatchingQueue::PendingBatch BatchingQueue::take_locked(const std::string& model) {
   return std::exchange(pending_[model], PendingBatch{});
 }
 
+std::vector<std::pair<std::string, BatchingQueue::PendingBatch>>
+BatchingQueue::take_all_locked() {
+  std::vector<std::pair<std::string, PendingBatch>> ready;
+  for (auto& [model, pending] : pending_) {
+    if (!pending.empty()) ready.emplace_back(model, take_locked(model));
+  }
+  return ready;
+}
+
+void BatchingQueue::fail_batch(PendingBatch batch, const Status& status) {
+  for (auto& p : batch.promises) p.set_value(status);
+}
+
 void BatchingQueue::execute(const std::string& model, PendingBatch batch) {
-  try {
-    const Tensor out = run_batch_(model, nn::pack_rows(batch.rows));
-    AHN_CHECK_MSG(out.rank() == 2 && out.rows() == batch.rows.size(),
-                  "batch executor returned " << out.shape_string() << " for "
-                                             << batch.rows.size() << " rows");
-    if (stats_ != nullptr) stats_->record_batch(batch.rows.size());
-    for (std::size_t r = 0; r < batch.promises.size(); ++r) {
-      Tensor row({1, out.cols()});
-      std::copy(out.row(r).begin(), out.row(r).end(), row.row(0).begin());
-      batch.promises[r].set_value(std::move(row));
+  // Expired requests are resolved here and NOT coalesced: no device time for
+  // results nobody is waiting on, and no deadline-blown rows inflating the
+  // batch the live requests pay for.
+  const Clock::time_point now = Clock::now();
+  PendingBatch live;
+  for (std::size_t r = 0; r < batch.rows.size(); ++r) {
+    if (batch.deadlines[r].has_value() && now >= *batch.deadlines[r]) {
+      if (stats_ != nullptr) stats_->record_deadline_miss();
+      batch.promises[r].set_value(
+          Status(StatusCode::kDeadlineExceeded, "expired before dispatch"));
+      continue;
     }
-  } catch (...) {
-    for (auto& p : batch.promises) p.set_exception(std::current_exception());
+    live.rows.push_back(std::move(batch.rows[r]));
+    live.promises.push_back(std::move(batch.promises[r]));
+    live.deadlines.push_back(batch.deadlines[r]);
+  }
+  if (live.empty()) return;
+
+  RowResults results;
+  try {
+    results = run_batch_(model, nn::pack_rows(live.rows));
+  } catch (const std::exception& e) {
+    // The BatchFn contract is no-throw; treat an escapee as an internal
+    // error rather than letting it tear down a serving thread.
+    fail_batch(std::move(live), Status(StatusCode::kInternal, e.what()));
+    return;
+  }
+  if (results.size() != live.rows.size()) {
+    fail_batch(std::move(live),
+               Status(StatusCode::kInternal, "batch executor returned " +
+                                                 std::to_string(results.size()) +
+                                                 " results for " +
+                                                 std::to_string(live.rows.size()) +
+                                                 " rows"));
+    return;
+  }
+  if (stats_ != nullptr) stats_->record_batch(live.rows.size());
+  for (std::size_t r = 0; r < live.promises.size(); ++r) {
+    live.promises[r].set_value(std::move(results[r]));
   }
 }
 
@@ -85,11 +157,8 @@ void BatchingQueue::flusher_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (!stop_) {
     stop_cv_.wait_for(lock, period);
-    if (stop_) return;  // destructor performs the final drain
-    std::vector<std::pair<std::string, PendingBatch>> ready;
-    for (auto& [model, pending] : pending_) {
-      if (!pending.rows.empty()) ready.emplace_back(model, take_locked(model));
-    }
+    if (stop_) return;  // destructor resolves any stragglers
+    std::vector<std::pair<std::string, PendingBatch>> ready = take_all_locked();
     lock.unlock();
     for (auto& [model, batch] : ready) execute(model, std::move(batch));
     lock.lock();

@@ -12,17 +12,30 @@
 // stragglers every `max_delay_seconds` so a partially-filled batch is never
 // stranded. flush() force-drains synchronously (used by tests and by
 // clients that need a latency bound tighter than the flusher period).
+//
+// Reliability contract (docs/RELIABILITY.md):
+//  * every future carries a Result<Tensor> — batch failures resolve futures
+//    with a typed Status, never a broken promise;
+//  * a request may carry a deadline: expired requests are completed with
+//    kDeadlineExceeded at dispatch time and are NOT coalesced into the
+//    batch (no device time is spent on work nobody is waiting for);
+//  * drain() executes everything pending, then rejects new submits with
+//    kShuttingDown; destruction completes any still-pending requests with
+//    kShuttingDown — every accepted request resolves, in every path.
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/serving_stats.hpp"
+#include "common/status.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ahn::runtime {
@@ -34,46 +47,68 @@ struct BatchingOptions {
 
 class BatchingQueue {
  public:
+  using Clock = std::chrono::steady_clock;
+  using Deadline = std::optional<Clock::time_point>;
+
   /// `run_batch` executes one coalesced (B x features) batch for `model` and
-  /// returns the (B x outputs) result. It is called from client threads (on
-  /// batch-full) and from the flusher thread, potentially concurrently for
-  /// different batches — it must be thread-safe.
-  using BatchFn = std::function<Tensor(const std::string& model, const Tensor& batch)>;
+  /// returns one Result per row, in row order (size must equal B — on a
+  /// batch-wide failure, return B copies of the same error Status). It is
+  /// called from client threads (on batch-full) and from the flusher thread,
+  /// potentially concurrently for different batches — it must be
+  /// thread-safe, and it must not throw: typed failures travel as Statuses.
+  using RowResults = std::vector<Result<Tensor>>;
+  using BatchFn = std::function<RowResults(const std::string& model, const Tensor& batch)>;
 
   BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingStats* stats = nullptr);
-  ~BatchingQueue();  ///< stops the flusher after a final drain
+  ~BatchingQueue();  ///< stops the flusher; fails stragglers with kShuttingDown
 
   BatchingQueue(const BatchingQueue&) = delete;
   BatchingQueue& operator=(const BatchingQueue&) = delete;
 
   /// Enqueues one inference row (rank-1, or rank-2 with a single row) for
-  /// `model`. The future resolves to the (1 x outputs) result row; a failed
-  /// batch execution propagates its exception through every affected future.
-  [[nodiscard]] std::future<Tensor> submit(const std::string& model, Tensor row);
+  /// `model`. The future resolves to the (1 x outputs) result row or a typed
+  /// Status (kDeadlineExceeded if `deadline` passes before dispatch,
+  /// kShuttingDown after drain()/destruction, or whatever run_batch reports).
+  [[nodiscard]] std::future<Result<Tensor>> submit(const std::string& model,
+                                                   Tensor row,
+                                                   Deadline deadline = {});
 
   /// Synchronously executes every pending batch on the calling thread.
   void flush();
+
+  /// Graceful shutdown: flushes everything pending, then completes all
+  /// subsequent submits immediately with kShuttingDown. Idempotent.
+  void drain();
+
+  [[nodiscard]] bool draining() const;
 
   [[nodiscard]] const BatchingOptions& options() const noexcept { return opts_; }
 
  private:
   struct PendingBatch {
     std::vector<Tensor> rows;                   // each (1 x features)
-    std::vector<std::promise<Tensor>> promises;
+    std::vector<std::promise<Result<Tensor>>> promises;
+    std::vector<Deadline> deadlines;
+
+    [[nodiscard]] bool empty() const noexcept { return rows.empty(); }
   };
 
   /// Takes ownership of one model's pending batch (caller executes it).
   [[nodiscard]] PendingBatch take_locked(const std::string& model);
+  [[nodiscard]] std::vector<std::pair<std::string, PendingBatch>> take_all_locked();
   void execute(const std::string& model, PendingBatch batch);
+  /// Completes every request in `batch` with `status` (no execution).
+  void fail_batch(PendingBatch batch, const Status& status);
   void flusher_loop();
 
   BatchFn run_batch_;
   BatchingOptions opts_;
   ServingStats* stats_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::unordered_map<std::string, PendingBatch> pending_;
-  bool stop_ = false;
+  bool draining_ = false;  ///< reject new submits with kShuttingDown
+  bool stop_ = false;      ///< terminate the flusher thread
   std::condition_variable stop_cv_;  ///< wakes the flusher early on shutdown
   std::thread flusher_;
 };

@@ -1,0 +1,69 @@
+#include "runtime/fault_injector.hpp"
+
+namespace ahn::runtime {
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+void FaultInjector::set_spec(const FaultSpec& spec) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+}
+
+FaultSpec FaultInjector::spec() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return spec_;
+}
+
+double FaultInjector::draw_latency_spike(ServingPhase /*phase*/) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.latency_spike_prob <= 0.0 || !rng_.bernoulli(spec_.latency_spike_prob)) {
+    return 0.0;
+  }
+  ++counts_[static_cast<std::size_t>(FaultKind::kLatencySpike)];
+  return spec_.latency_spike_seconds;
+}
+
+bool FaultInjector::draw_transient(ServingPhase /*phase*/) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.transient_prob <= 0.0 || !rng_.bernoulli(spec_.transient_prob)) {
+    return false;
+  }
+  ++counts_[static_cast<std::size_t>(FaultKind::kTransient)];
+  return true;
+}
+
+bool FaultInjector::draw_nan_corruption() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.nan_prob <= 0.0 || !rng_.bernoulli(spec_.nan_prob)) return false;
+  ++counts_[static_cast<std::size_t>(FaultKind::kNanCorruption)];
+  return true;
+}
+
+bool FaultInjector::draw_batch_drop() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.batch_drop_prob <= 0.0 || !rng_.bernoulli(spec_.batch_drop_prob)) {
+    return false;
+  }
+  ++counts_[static_cast<std::size_t>(FaultKind::kBatchDrop)];
+  return true;
+}
+
+std::size_t FaultInjector::draw_row(std::size_t rows) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return rows == 0 ? 0 : static_cast<std::size_t>(rng_.uniform_index(rows));
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<std::size_t>(kind)];
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const std::uint64_t c : counts_) n += c;
+  return n;
+}
+
+}  // namespace ahn::runtime

@@ -1,0 +1,81 @@
+#pragma once
+// Deterministic, seedable fault injection for the serving runtime. The
+// orchestrator consults an (optional) injector at each online phase of the
+// §7.3 breakdown so degradation behavior — latency spikes, transient device
+// faults, NaN-corrupted surrogate outputs, dropped batches — is testable
+// and reproducible from a single seed. Production deployments simply never
+// install one; the hooks cost a null check.
+//
+// Thread-safety: all draw_* members may be called concurrently from client,
+// pool, and flusher threads (one mutex around the shared Rng). The spec is
+// runtime-mutable (set_spec) so tests can start/stop fault storms mid-run —
+// the breaker-recovery lifecycle test depends on this.
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.hpp"
+
+namespace ahn::runtime {
+
+/// Online serving phases a fault can target (§7.3 breakdown).
+enum class ServingPhase : std::size_t { kFetch = 0, kEncode, kLoad, kRun };
+
+/// Fault categories, used for per-kind accounting.
+enum class FaultKind : std::size_t {
+  kLatencySpike = 0,  ///< a phase takes `latency_spike_seconds` longer
+  kTransient,         ///< a phase fails retriably (kTransientFailure)
+  kNanCorruption,     ///< one output row is overwritten with NaN
+  kBatchDrop,         ///< a dispatched batch is lost before execution
+};
+inline constexpr std::size_t kFaultKindCount = 4;
+
+/// Per-draw fault probabilities (all default to "never fire").
+struct FaultSpec {
+  double latency_spike_prob = 0.0;     ///< per phase execution
+  double latency_spike_seconds = 1e-3; ///< magnitude of a spike
+  double transient_prob = 0.0;         ///< per phase execution
+  double nan_prob = 0.0;               ///< per executed batch (one row hit)
+  double batch_drop_prob = 0.0;        ///< per dispatched batch
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec = FaultSpec{}, std::uint64_t seed = 42);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Atomically replaces the fault probabilities (draws in flight finish
+  /// against whichever spec they read first).
+  void set_spec(const FaultSpec& spec);
+  [[nodiscard]] FaultSpec spec() const;
+
+  /// Extra seconds this phase execution should take (0.0 = no spike).
+  [[nodiscard]] double draw_latency_spike(ServingPhase phase);
+
+  /// Whether this phase execution fails with a retriable transient fault.
+  [[nodiscard]] bool draw_transient(ServingPhase phase);
+
+  /// Whether this executed batch gets one NaN-corrupted output row.
+  [[nodiscard]] bool draw_nan_corruption();
+
+  /// Whether this dispatched batch is dropped before execution.
+  [[nodiscard]] bool draw_batch_drop();
+
+  /// Uniform row index in [0, rows) — picks the corrupted row.
+  [[nodiscard]] std::size_t draw_row(std::size_t rows);
+
+  /// Faults fired so far, by kind (draws that returned "inject").
+  [[nodiscard]] std::uint64_t injected(FaultKind kind) const;
+  [[nodiscard]] std::uint64_t total_injected() const;
+
+ private:
+  mutable std::mutex mu_;
+  FaultSpec spec_;
+  Rng rng_;
+  std::array<std::uint64_t, kFaultKindCount> counts_{};
+};
+
+}  // namespace ahn::runtime

@@ -1,8 +1,26 @@
 #include "runtime/orchestrator.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
 #include "common/error.hpp"
 
 namespace ahn::runtime {
+
+namespace {
+
+/// An already-resolved batched-request future (rejections and breaker
+/// fallbacks never enter the queue).
+std::future<Result<Tensor>> ready_result(Result<Tensor> r) {
+  std::promise<Result<Tensor>> p;
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
+}  // namespace
 
 Orchestrator::Orchestrator(DeviceModel device, OrchestratorOptions opts)
     : device_(device), opts_(opts), tensors_(opts.store_shards) {}
@@ -33,44 +51,110 @@ void Orchestrator::set_model(const std::string& name,
 }
 
 std::shared_ptr<const ServableModel> Orchestrator::model(const std::string& name) const {
-  const std::shared_lock<std::shared_mutex> lock(models_mu_);
-  const auto it = models_.find(name);
-  AHN_CHECK_MSG(it != models_.end(), "no model named '" << name << "'");
-  return it->second;
+  std::shared_ptr<const ServableModel> m = find_model(name);
+  AHN_CHECK_MSG(m != nullptr, "no model named '" << name << "'");
+  return m;
 }
 
-Tensor Orchestrator::execute(const ServableModel& m, Tensor input,
-                             RequestPhases* batch_phases) const {
+std::shared_ptr<const ServableModel> Orchestrator::find_model(
+    const std::string& name) const {
+  const std::shared_lock<std::shared_mutex> lock(models_mu_);
+  const auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+void Orchestrator::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+  const std::lock_guard<std::mutex> lock(injector_mu_);
+  injector_ = std::move(injector);
+}
+
+std::shared_ptr<FaultInjector> Orchestrator::fault_injector() const {
+  const std::lock_guard<std::mutex> lock(injector_mu_);
+  return injector_;
+}
+
+CircuitBreaker& Orchestrator::breaker(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(breakers_mu_);
+  std::unique_ptr<CircuitBreaker>& b = breakers_[name];
+  if (b == nullptr) b = std::make_unique<CircuitBreaker>(opts_.breaker, &stats_);
+  return *b;
+}
+
+Result<Tensor> Orchestrator::execute(const ServableModel& m, const Tensor& input,
+                                     RequestPhases* batch_phases) {
   AHN_CHECK(input.rank() == 2);
   const std::size_t batch = input.rows();
+  const std::shared_ptr<FaultInjector> inj = fault_injector();
+
+  // A dropped batch is lost before any phase runs; it is retriable.
+  if (inj != nullptr && inj->draw_batch_drop()) {
+    stats_.record_fault_injected("batch_drop");
+    return Status(StatusCode::kTransientFailure, "injected batch drop");
+  }
+
+  // Consults the injector for one phase: returns false on a transient fault
+  // (the attempt is abandoned), otherwise folds any latency spike into the
+  // phase's modeled seconds.
+  const char* failed_phase = nullptr;
+  const auto probe_phase = [&](ServingPhase p, const char* name,
+                               double& phase_s) -> bool {
+    if (inj == nullptr) return true;
+    if (inj->draw_transient(p)) {
+      stats_.record_fault_injected("transient");
+      failed_phase = name;
+      return false;
+    }
+    const double spike = inj->draw_latency_spike(p);
+    if (spike > 0.0) {
+      stats_.record_fault_injected("latency_spike");
+      phase_s += spike;
+    }
+    return true;
+  };
+  const auto transient = [&] {
+    return Status(StatusCode::kTransientFailure,
+                  std::string("injected transient fault in ") + failed_phase);
+  };
 
   // (1) fetch: move the input tensor onto the device.
-  const double fetch_s = device_.transfer_seconds(sizeof(double) * input.size());
+  double fetch_s = device_.transfer_seconds(sizeof(double) * input.size());
+  if (!probe_phase(ServingPhase::kFetch, "fetch", fetch_s)) return transient();
 
   // (2) encode: feature reduction on device (skipped without an encoder).
   double encode_s = 0.0;
-  Tensor reduced = std::move(input);
+  Tensor reduced = m.encode ? m.encode(input) : input;
   if (m.encode) {
-    reduced = m.encode(reduced);
     OpCounts per_batch = m.encode_ops;
     per_batch.flops *= batch;
     per_batch.bytes_read *= batch;
     per_batch.bytes_written *= batch;
     encode_s = device_.kernel_seconds(per_batch, nn_inference_profile());
+    if (!probe_phase(ServingPhase::kEncode, "encode", encode_s)) return transient();
   }
 
   // (3) load: touch the cached surrogate weights (once per batch — this is
   // the phase micro-batching amortizes, §7.3).
-  const double load_s = device_.spec().model_load_latency;
+  double load_s = device_.spec().model_load_latency;
+  if (!probe_phase(ServingPhase::kLoad, "load", load_s)) return transient();
 
   // (4) run: surrogate inference + result transfer back.
-  const Tensor out = m.surrogate.predict(reduced);
+  Tensor out = m.surrogate.predict(reduced);
   OpCounts run_ops = m.infer_ops;
   run_ops.flops *= batch;
   run_ops.bytes_read *= batch;
   run_ops.bytes_written *= batch;
-  const double run_s = device_.kernel_seconds(run_ops, nn_inference_profile()) +
-                       device_.transfer_seconds(sizeof(double) * out.size());
+  double run_s = device_.kernel_seconds(run_ops, nn_inference_profile()) +
+                 device_.transfer_seconds(sizeof(double) * out.size());
+  if (!probe_phase(ServingPhase::kRun, "run", run_s)) return transient();
+
+  // NaN corruption: one output row silently poisoned — the QoI guard in
+  // finalize_batch is what must catch it, exactly as a real device fault
+  // would have to be caught.
+  if (inj != nullptr && out.rows() > 0 && inj->draw_nan_corruption()) {
+    stats_.record_fault_injected("nan_corruption");
+    const std::size_t r = inj->draw_row(out.rows());
+    for (double& v : out.row(r)) v = std::numeric_limits<double>::quiet_NaN();
+  }
 
   if (batch_phases != nullptr) {
     batch_phases->fetch = fetch_s;
@@ -89,6 +173,32 @@ Tensor Orchestrator::execute(const ServableModel& m, Tensor input,
   return out;
 }
 
+Result<Tensor> Orchestrator::execute_with_retry(const ServableModel& m,
+                                                const Tensor& input,
+                                                RequestPhases* batch_phases) {
+  const std::size_t max_attempts = std::max<std::size_t>(opts_.retry.max_attempts, 1);
+  double backoff = opts_.retry.initial_backoff_seconds;
+  for (std::size_t attempt = 1;; ++attempt) {
+    Result<Tensor> r = execute(m, input, batch_phases);
+    if (r.is_ok() || r.code() != StatusCode::kTransientFailure ||
+        attempt >= max_attempts) {
+      return r;
+    }
+    stats_.record_retry();
+    double sleep_s = backoff;
+    if (opts_.retry.jitter_fraction > 0.0) {
+      // Jitter de-correlates retry storms from concurrent clients.
+      const std::lock_guard<std::mutex> lock(retry_mu_);
+      sleep_s *= retry_rng_.uniform(1.0 - opts_.retry.jitter_fraction,
+                                    1.0 + opts_.retry.jitter_fraction);
+    }
+    if (sleep_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+    }
+    backoff *= opts_.retry.backoff_multiplier;
+  }
+}
+
 void Orchestrator::record_requests(const RequestPhases& batch_phases, std::size_t rows) {
   if (rows == 0) return;
   const double n = static_cast<double>(rows);
@@ -99,14 +209,32 @@ void Orchestrator::record_requests(const RequestPhases& batch_phases, std::size_
   for (std::size_t i = 0; i < rows; ++i) stats_.record_request(per_request);
 }
 
-void Orchestrator::run_model(const std::string& name, const std::string& in_key,
-                             const std::string& out_key, PhaseAccumulator* phases) {
-  const std::shared_ptr<const ServableModel> m = model(name);
-  Tensor input = get_tensor(in_key);
-  const std::size_t rows = input.rank() == 2 ? input.rows() : 0;
+Status Orchestrator::run_model(const std::string& name, const std::string& in_key,
+                               const std::string& out_key, PhaseAccumulator* phases) {
+  if (draining()) {
+    stats_.record_shutdown_rejection();
+    return Status(StatusCode::kShuttingDown, "orchestrator draining");
+  }
+  return run_model_admitted(name, in_key, out_key, phases);
+}
+
+Status Orchestrator::run_model_admitted(const std::string& name,
+                                        const std::string& in_key,
+                                        const std::string& out_key,
+                                        PhaseAccumulator* phases) {
+  const std::shared_ptr<const ServableModel> m = find_model(name);
+  if (m == nullptr) {
+    return Status(StatusCode::kModelUnavailable, "no model named '" + name + "'");
+  }
+  std::optional<Tensor> input = tensors_.try_get(in_key);
+  if (!input.has_value()) {
+    return Status(StatusCode::kNotFound, "no tensor at key '" + in_key + "'");
+  }
+  const std::size_t rows = input->rank() == 2 ? input->rows() : 0;
 
   RequestPhases batch_phases;
-  Tensor out = execute(*m, std::move(input), &batch_phases);
+  Result<Tensor> out = execute_with_retry(*m, *input, &batch_phases);
+  if (!out.is_ok()) return out.status();
 
   if (phases != nullptr) {
     phases->add("fetch", batch_phases.fetch);
@@ -116,25 +244,112 @@ void Orchestrator::run_model(const std::string& name, const std::string& in_key,
   }
   stats_.record_batch(rows);
   record_requests(batch_phases, rows);
-  put_tensor(out_key, std::move(out));
+  put_tensor(out_key, std::move(out.value()));
+  return Status::ok();
 }
 
-std::future<void> Orchestrator::run_model_async(const std::string& name,
-                                                const std::string& in_key,
-                                                const std::string& out_key) {
+std::future<Status> Orchestrator::run_model_async(const std::string& name,
+                                                  const std::string& in_key,
+                                                  const std::string& out_key) {
+  if (draining()) {
+    stats_.record_shutdown_rejection();
+    std::promise<Status> p;
+    p.set_value(Status(StatusCode::kShuttingDown, "orchestrator draining"));
+    return p.get_future();
+  }
+  // The draining check above is the admission decision; once accepted, the
+  // task runs to completion even if a drain starts before the pool gets to
+  // it (the drain contract: every accepted request is served).
   return pool().submit([this, name, in_key, out_key] {
-    run_model(name, in_key, out_key, /*phases=*/nullptr);
+    return run_model_admitted(name, in_key, out_key, /*phases=*/nullptr);
   });
 }
 
-std::future<Tensor> Orchestrator::run_model_batched(const std::string& name,
-                                                    Tensor row) {
-  return batches().submit(name, std::move(row));
+std::future<Result<Tensor>> Orchestrator::run_model_batched(const std::string& name,
+                                                            Tensor row,
+                                                            RequestOptions request) {
+  if (draining()) {
+    stats_.record_shutdown_rejection();
+    return ready_result(Status(StatusCode::kShuttingDown, "orchestrator draining"));
+  }
+  const std::shared_ptr<const ServableModel> m = find_model(name);
+  if (m == nullptr) {
+    return ready_result(
+        Status(StatusCode::kModelUnavailable, "no model named '" + name + "'"));
+  }
+  if (opts_.enable_breaker && m->fallback) {
+    if (breaker(name).admit() == CircuitBreaker::Route::kOriginal) {
+      // Open (or probe-saturated half-open) breaker: the request is served
+      // by the original code on the caller's thread — graceful systemic
+      // degradation instead of doomed surrogate traffic.
+      stats_.record_breaker_fallback();
+      if (row.rank() == 1) row.reshape({1, row.size()});
+      return ready_result(Result<Tensor>(m->fallback(row)));
+    }
+  }
+  return batches().submit(name, std::move(row), request.deadline);
+}
+
+BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
+                                                       const ServableModel& m,
+                                                       const Tensor& batch,
+                                                       const Tensor& out) {
+  const std::size_t rows = batch.rows();
+  BatchingQueue::RowResults results;
+  results.reserve(rows);
+  CircuitBreaker* br =
+      (opts_.enable_breaker && m.fallback) ? &breaker(name) : nullptr;
+  for (std::size_t r = 0; r < rows; ++r) {
+    Tensor row_out({1, out.cols()});
+    std::copy(out.row(r).begin(), out.row(r).end(), row_out.row(0).begin());
+
+    // Built on demand: only QoI checks and fallbacks need the input row.
+    Tensor row_in;
+    const auto input_row = [&]() -> const Tensor& {
+      if (row_in.size() == 0) {
+        row_in = Tensor({1, batch.cols()});
+        std::copy(batch.row(r).begin(), batch.row(r).end(), row_in.row(0).begin());
+      }
+      return row_in;
+    };
+
+    // Non-finite outputs are always a QoI miss (this is what catches
+    // injected NaN corruption); the model's own check refines further.
+    bool qoi_ok = std::all_of(row_out.row(0).begin(), row_out.row(0).end(),
+                              [](double v) { return std::isfinite(v); });
+    if (qoi_ok && m.qoi_check) qoi_ok = m.qoi_check(input_row(), row_out);
+
+    if (br != nullptr) br->record_outcome(qoi_ok);
+    if (qoi_ok) {
+      results.emplace_back(std::move(row_out));
+      continue;
+    }
+    stats_.record_qoi_fallback();
+    if (m.fallback) {
+      // §7.1: re-run the original code for this request, transparently.
+      results.emplace_back(m.fallback(input_row()));
+    } else {
+      results.emplace_back(
+          Status(StatusCode::kQoIRejected, "QoI miss with no original-code fallback"));
+    }
+  }
+  return results;
 }
 
 void Orchestrator::flush_batches() {
   // Only started queues can hold pending rows; don't spawn one just to drain.
   if (batches_ != nullptr) batches_->flush();
+}
+
+void Orchestrator::drain() {
+  draining_.store(true, std::memory_order_release);
+  // Everything accepted before the flag flipped still gets served: pending
+  // micro-batches execute, in-flight async work finishes. Requests arriving
+  // after the flag resolve immediately with kShuttingDown. Going through the
+  // call_once accessors (not the raw pointers) synchronizes with clients
+  // that are lazily creating the executors concurrently with shutdown.
+  batches().drain();
+  pool().wait_idle();
 }
 
 ThreadPool& Orchestrator::pool() {
@@ -149,12 +364,22 @@ BatchingQueue& Orchestrator::batches() {
     bopts.max_batch = opts_.max_batch;
     bopts.max_delay_seconds = opts_.batch_delay_seconds;
     batches_ = std::make_unique<BatchingQueue>(
-        [this](const std::string& model_name, const Tensor& batch) {
-          const std::shared_ptr<const ServableModel> m = model(model_name);
+        [this](const std::string& model_name,
+               const Tensor& batch) -> BatchingQueue::RowResults {
+          const std::size_t rows = batch.rows();
+          const std::shared_ptr<const ServableModel> m = find_model(model_name);
+          if (m == nullptr) {
+            return BatchingQueue::RowResults(
+                rows, Result<Tensor>(Status(StatusCode::kModelUnavailable,
+                                            "no model named '" + model_name + "'")));
+          }
           RequestPhases batch_phases;
-          Tensor out = execute(*m, batch, &batch_phases);
-          record_requests(batch_phases, batch.rows());
-          return out;
+          Result<Tensor> out = execute_with_retry(*m, batch, &batch_phases);
+          if (!out.is_ok()) {
+            return BatchingQueue::RowResults(rows, Result<Tensor>(out.status()));
+          }
+          record_requests(batch_phases, rows);
+          return finalize_batch(model_name, *m, batch, out.value());
         },
         bopts, &stats_);
   });

@@ -15,7 +15,25 @@
 //    batched forward (BatchingQueue), amortizing the fetch/encode/load
 //    phases of the §7.3 cost breakdown across the batch;
 //  * every served request is tallied in a ServingStats collector.
+//
+// Reliability model (docs/RELIABILITY.md has the full contract):
+//  * run_model* report failures as typed Status / Result values — unknown
+//    model, missing input, expired deadline, exhausted retries, shutdown —
+//    instead of raw ahn::Error exceptions;
+//  * transient faults are retried with exponential backoff + jitter
+//    (RetryPolicy) before surfacing kTransientFailure;
+//  * batched requests may carry a deadline (RequestOptions); expired
+//    requests resolve kDeadlineExceeded and are never coalesced;
+//  * a per-model QoI circuit breaker turns the §7.1 per-request fallback
+//    into systemic degradation: a high fallback rate routes traffic
+//    straight to the original-code path for a cool-down, then half-open
+//    probes restore surrogate serving;
+//  * drain() flushes partial batches and rejects new work with
+//    kShuttingDown — every accepted request resolves, never a broken
+//    promise;
+//  * an optional FaultInjector makes all of the above testable.
 
+#include <atomic>
 #include <functional>
 #include <future>
 #include <memory>
@@ -24,11 +42,15 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/rng.hpp"
 #include "common/serving_stats.hpp"
+#include "common/status.hpp"
 #include "common/timer.hpp"
 #include "nn/train.hpp"
 #include "runtime/batching_queue.hpp"
+#include "runtime/circuit_breaker.hpp"
 #include "runtime/device.hpp"
+#include "runtime/fault_injector.hpp"
 #include "runtime/sharded_store.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/tensor.hpp"
@@ -36,14 +58,34 @@
 namespace ahn::runtime {
 
 /// A servable model: an optional feature-reduction encoder in front of the
-/// trained surrogate (both execute "on device" via the device model). The
-/// encode callable must be stateless/thread-safe: batched and concurrent
-/// paths invoke it from multiple threads.
+/// trained surrogate (both execute "on device" via the device model), plus
+/// the optional §7.1 quality contract. All callables must be
+/// stateless/thread-safe: batched and concurrent paths invoke them from
+/// multiple threads.
 struct ServableModel {
   std::function<Tensor(const Tensor&)> encode;  ///< may be empty (no reduction)
   OpCounts encode_ops;                           ///< per-row encode cost
   nn::TrainedSurrogate surrogate;
   OpCounts infer_ops;                            ///< per-row inference cost
+
+  /// §7.1 quality check for one served row (inputs: the 1 x F request row
+  /// and the 1 x O surrogate output). Empty = accept everything except
+  /// non-finite outputs (NaN/Inf always count as a QoI miss).
+  std::function<bool(const Tensor& row_in, const Tensor& row_out)> qoi_check;
+
+  /// The original-code path for one request row: returns the 1 x O exact
+  /// result. When set, QoI misses fall back to it transparently and the
+  /// circuit breaker may route entire cool-down windows through it. When
+  /// empty, a QoI miss surfaces as kQoIRejected.
+  std::function<Tensor(const Tensor& row_in)> fallback;
+};
+
+/// Exponential backoff + jitter for retrying kTransientFailure faults.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;           ///< total tries (1 = no retry)
+  double initial_backoff_seconds = 50e-6; ///< sleep before the first retry
+  double backoff_multiplier = 2.0;        ///< growth per retry
+  double jitter_fraction = 0.25;          ///< sleep in [b(1-j), b(1+j)]
 };
 
 /// Serving-side tuning knobs (defaults suit tests and small deployments).
@@ -59,6 +101,27 @@ struct OrchestratorOptions {
   /// serving-throughput bench turns on. Off by default: the pipeline and
   /// tests want modeled time accounted, not elapsed.
   bool simulate_device_occupancy = false;
+
+  RetryPolicy retry;                   ///< transient-fault retry budget
+  CircuitBreakerOptions breaker;       ///< per-model QoI breaker tuning
+  bool enable_breaker = true;          ///< engages for models with a fallback
+};
+
+/// Per-request options for the batched path.
+struct RequestOptions {
+  /// Absolute completion deadline; unset = no deadline. A request that
+  /// expires before its batch dispatches resolves kDeadlineExceeded and is
+  /// not coalesced.
+  BatchingQueue::Deadline deadline{};
+
+  /// Convenience: a deadline `seconds` from now.
+  [[nodiscard]] static RequestOptions within(double seconds) {
+    RequestOptions o;
+    o.deadline = BatchingQueue::Clock::now() +
+                 std::chrono::duration_cast<BatchingQueue::Clock::duration>(
+                     std::chrono::duration<double>(seconds));
+    return o;
+  }
 };
 
 /// The keyed tensor store + model registry (one per "experiment").
@@ -77,32 +140,59 @@ class Orchestrator {
   void delete_tensor(const std::string& key);
 
   void set_model(const std::string& name, std::shared_ptr<const ServableModel> model);
+  /// Registry lookup; throws ahn::Error for unknown names (the serving
+  /// paths use the non-throwing internal lookup and report
+  /// kModelUnavailable instead).
   [[nodiscard]] std::shared_ptr<const ServableModel> model(const std::string& name) const;
 
   /// Runs `name` on the tensor at `in_key`, storing the result at `out_key`.
   /// Wall time of each online phase is modeled with the device model and
   /// accumulated into `phases` when provided (the §7.3 breakdown:
-  /// "fetch" / "encode" / "load" / "run").
-  void run_model(const std::string& name, const std::string& in_key,
-                 const std::string& out_key, PhaseAccumulator* phases = nullptr);
+  /// "fetch" / "encode" / "load" / "run"). Returns kModelUnavailable /
+  /// kNotFound / kTransientFailure / kShuttingDown instead of throwing.
+  [[nodiscard]] Status run_model(const std::string& name, const std::string& in_key,
+                                 const std::string& out_key,
+                                 PhaseAccumulator* phases = nullptr);
 
-  /// Asynchronous run_model: returns immediately; the future resolves once
-  /// the result tensor is stored at `out_key` (exceptions — unknown model,
-  /// missing input — surface from future::get()). No PhaseAccumulator
-  /// parameter: per-phase latency is recorded thread-safely in stats().
-  [[nodiscard]] std::future<void> run_model_async(const std::string& name,
-                                                  const std::string& in_key,
-                                                  const std::string& out_key);
+  /// Asynchronous run_model: returns immediately; the future resolves to
+  /// the request's final Status once the result tensor is stored at
+  /// `out_key`. No PhaseAccumulator parameter: per-phase latency is
+  /// recorded thread-safely in stats().
+  [[nodiscard]] std::future<Status> run_model_async(const std::string& name,
+                                                    const std::string& in_key,
+                                                    const std::string& out_key);
 
   /// Micro-batched single-row inference: bypasses the keyed store and
   /// coalesces up to OrchestratorOptions::max_batch pending rows for `name`
   /// into one batched forward. The future resolves to the (1 x outputs)
-  /// result row, bitwise-identical to the row a sync run_model would store.
-  [[nodiscard]] std::future<Tensor> run_model_batched(const std::string& name,
-                                                      Tensor row);
+  /// result row — bitwise-identical to the row a sync run_model would
+  /// store — or to a typed Status (deadline, shutdown, retry exhaustion,
+  /// QoI rejection). Rows served by the original-code path (QoI fallback or
+  /// an open breaker) resolve OK with the exact result.
+  [[nodiscard]] std::future<Result<Tensor>> run_model_batched(
+      const std::string& name, Tensor row, RequestOptions request = {});
 
   /// Force-drains partially filled micro-batches (see BatchingQueue::flush).
   void flush_batches();
+
+  /// Graceful shutdown: executes every pending micro-batch, waits for
+  /// in-flight async work, and completes all subsequent run_model* calls
+  /// with kShuttingDown. Every request accepted before drain() resolves
+  /// with a result or a typed status. Idempotent.
+  void drain();
+  [[nodiscard]] bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Installs (or clears, with nullptr) the fault injector consulted by
+  /// every serving phase. Shared so tests can keep a handle for mid-run
+  /// spec changes and fault accounting.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+  [[nodiscard]] std::shared_ptr<FaultInjector> fault_injector() const;
+
+  /// The QoI circuit breaker for `name` (created on first use; one per
+  /// model). Exposed for observability and tests.
+  [[nodiscard]] CircuitBreaker& breaker(const std::string& name);
 
   [[nodiscard]] ServingStats& stats() noexcept { return stats_; }
   [[nodiscard]] const ServingStats& stats() const noexcept { return stats_; }
@@ -111,15 +201,38 @@ class Orchestrator {
   [[nodiscard]] const OrchestratorOptions& options() const noexcept { return opts_; }
 
  private:
-  /// Shared inference core: encode (optional) + batched surrogate forward,
-  /// with modeled per-phase seconds for the whole batch. Stateless with
-  /// respect to the orchestrator (callable from any thread).
-  [[nodiscard]] Tensor execute(const ServableModel& m, Tensor input,
-                               RequestPhases* batch_phases) const;
+  /// Shared inference core: fault-injection hooks, encode (optional) +
+  /// batched surrogate forward, with modeled per-phase seconds for the
+  /// whole batch. Returns kTransientFailure when the injector fires.
+  [[nodiscard]] Result<Tensor> execute(const ServableModel& m, const Tensor& input,
+                                       RequestPhases* batch_phases);
+
+  /// execute() wrapped in RetryPolicy: transient faults are retried with
+  /// exponential backoff + jitter before the failure surfaces.
+  [[nodiscard]] Result<Tensor> execute_with_retry(const ServableModel& m,
+                                                  const Tensor& input,
+                                                  RequestPhases* batch_phases);
+
+  /// run_model() past the admission (draining) check — the body shared by
+  /// the sync path and already-accepted async tasks, so a drain that starts
+  /// after acceptance cannot strand in-flight work.
+  [[nodiscard]] Status run_model_admitted(const std::string& name,
+                                          const std::string& in_key,
+                                          const std::string& out_key,
+                                          PhaseAccumulator* phases);
+
+  /// Non-throwing registry lookup (nullptr = unknown model).
+  [[nodiscard]] std::shared_ptr<const ServableModel> find_model(
+      const std::string& name) const;
 
   /// Records one executed batch of `rows` requests into stats_ (per-request
   /// latency = batch phases amortized over the rows).
   void record_requests(const RequestPhases& batch_phases, std::size_t rows);
+
+  /// Per-row QoI check + fallback + breaker outcome for one executed batch.
+  [[nodiscard]] BatchingQueue::RowResults finalize_batch(
+      const std::string& name, const ServableModel& m, const Tensor& batch,
+      const Tensor& out);
 
   ThreadPool& pool();
   BatchingQueue& batches();
@@ -131,6 +244,17 @@ class Orchestrator {
   ShardedTensorStore tensors_;
   mutable std::shared_mutex models_mu_;
   std::unordered_map<std::string, std::shared_ptr<const ServableModel>> models_;
+
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex injector_mu_;
+  std::shared_ptr<FaultInjector> injector_;
+
+  std::mutex retry_mu_;
+  Rng retry_rng_{0x5eedULL};  ///< backoff jitter (deterministic per orchestrator)
+
+  std::mutex breakers_mu_;
+  std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
 
   // Both executors are created on first use so sync-only users (most tests,
   // the pipeline) never spawn threads. Destruction order matters: members
@@ -150,22 +274,22 @@ class Client {
     orc_->put_tensor(key, std::move(value));
   }
 
-  void run_model(const std::string& name, const std::string& in_key,
-                 const std::string& out_key, PhaseAccumulator* phases = nullptr) {
-    orc_->run_model(name, in_key, out_key, phases);
+  Status run_model(const std::string& name, const std::string& in_key,
+                   const std::string& out_key, PhaseAccumulator* phases = nullptr) {
+    return orc_->run_model(name, in_key, out_key, phases);
   }
 
   /// Async variant of the Listing-1 call (see Orchestrator::run_model_async).
-  [[nodiscard]] std::future<void> run_model_async(const std::string& name,
-                                                  const std::string& in_key,
-                                                  const std::string& out_key) {
+  [[nodiscard]] std::future<Status> run_model_async(const std::string& name,
+                                                    const std::string& in_key,
+                                                    const std::string& out_key) {
     return orc_->run_model_async(name, in_key, out_key);
   }
 
   /// Micro-batched single-row inference (see Orchestrator::run_model_batched).
-  [[nodiscard]] std::future<Tensor> run_model_batched(const std::string& name,
-                                                      Tensor row) {
-    return orc_->run_model_batched(name, std::move(row));
+  [[nodiscard]] std::future<Result<Tensor>> run_model_batched(
+      const std::string& name, Tensor row, RequestOptions request = {}) {
+    return orc_->run_model_batched(name, std::move(row), request);
   }
 
   [[nodiscard]] Tensor unpack_tensor(const std::string& key) const {

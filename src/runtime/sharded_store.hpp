@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,6 +41,16 @@ class ShardedTensorStore {
     const std::lock_guard<std::mutex> lock(s.mu);
     const auto it = s.map.find(key);
     AHN_CHECK_MSG(it != s.map.end(), "no tensor at key '" << key << "'");
+    return it->second;
+  }
+
+  /// Non-throwing get: nullopt when `key` is absent (the serving paths use
+  /// this to report kNotFound instead of throwing).
+  [[nodiscard]] std::optional<Tensor> try_get(const std::string& key) const {
+    const Shard& s = shard_for(key);
+    const std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return std::nullopt;
     return it->second;
   }
 

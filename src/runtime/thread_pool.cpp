@@ -26,6 +26,11 @@ std::size_t ThreadPool::pending() const {
   return queue_.size() + in_flight_;
 }
 
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
 void ThreadPool::enqueue(std::function<void()> job) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -47,10 +52,13 @@ void ThreadPool::worker_loop() {
       ++in_flight_;
     }
     job();  // packaged_task captures exceptions into the future
+    bool idle = false;
     {
       const std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
+      idle = queue_.empty() && in_flight_ == 0;
     }
+    if (idle) idle_cv_.notify_all();
   }
 }
 

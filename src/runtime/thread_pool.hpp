@@ -40,12 +40,18 @@ class ThreadPool {
   /// Tasks accepted but not yet finished (approximate under concurrency).
   [[nodiscard]] std::size_t pending() const;
 
+  /// Blocks until every task accepted so far has finished (queue empty and
+  /// no job executing). Used by Orchestrator::drain(); tasks submitted
+  /// concurrently with the wait may extend it.
+  void wait_idle();
+
  private:
   void enqueue(std::function<void()> job);
   void worker_loop();
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;  ///< signaled when the pool goes idle
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  ///< jobs popped but still executing
   bool stop_ = false;

@@ -122,7 +122,7 @@ TEST(Orchestrator, RunModelListing1Flow) {
   Tensor in({1, 4}, {0.1, 0.2, 0.3, 0.4});
   client.put_tensor("in_key", in);
   PhaseAccumulator phases;
-  client.run_model("AI-CFD-net", "in_key", "out_key", &phases);
+  EXPECT_TRUE(client.run_model("AI-CFD-net", "in_key", "out_key", &phases).is_ok());
   const Tensor out = client.unpack_tensor("out_key");
   EXPECT_EQ(out.rows(), 1u);
   EXPECT_EQ(out.cols(), 2u);
@@ -134,10 +134,22 @@ TEST(Orchestrator, RunModelListing1Flow) {
   EXPECT_EQ(phases.seconds("encode"), 0.0);  // no encoder in this model
 }
 
-TEST(Orchestrator, UnknownModelThrows) {
+TEST(Orchestrator, UnknownModelReportsModelUnavailable) {
   Orchestrator orc;
   orc.put_tensor("x", Tensor({1, 1}, {1}));
-  EXPECT_THROW(orc.run_model("nope", "x", "y"), Error);
+  const Status s = orc.run_model("nope", "x", "y");
+  EXPECT_EQ(s.code(), StatusCode::kModelUnavailable);
+  EXPECT_NE(s.to_string().find("nope"), std::string::npos);
+  // The throwing registry lookup is still the contract for direct use.
+  EXPECT_THROW((void)orc.model("nope"), Error);
+}
+
+TEST(Orchestrator, MissingInputKeyReportsNotFound) {
+  Orchestrator orc;
+  orc.set_model("m", tiny_model());
+  const Status s = orc.run_model("m", "absent", "out");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_FALSE(orc.has_tensor("out"));
 }
 
 TEST(Deployment, InferShapesAndTiming) {
@@ -334,7 +346,7 @@ TEST(Orchestrator, RunModelAsyncMatchesSyncResults) {
   for (int i = 0; i < 16; ++i) {
     const double base = 0.1 * i;
     client.put_tensor("ref_in", Tensor({1, 4}, {base, base + 1, base + 2, base + 3}));
-    client.run_model("m", "ref_in", "ref_out");
+    ASSERT_TRUE(client.run_model("m", "ref_in", "ref_out").is_ok());
     expected.push_back(client.unpack_tensor("ref_out"));
   }
 
@@ -349,7 +361,7 @@ TEST(Orchestrator, RunModelAsyncMatchesSyncResults) {
         const std::string in = "in" + std::to_string(i);
         const std::string out = "out" + std::to_string(i);
         c.put_tensor(in, Tensor({1, 4}, {base, base + 1, base + 2, base + 3}));
-        c.run_model_async("m", in, out).get();
+        EXPECT_TRUE(c.run_model_async("m", in, out).get().is_ok());
       }
     });
   }
@@ -363,11 +375,19 @@ TEST(Orchestrator, RunModelAsyncMatchesSyncResults) {
   EXPECT_GE(orc.stats().requests_served(), 32u);
 }
 
-TEST(Orchestrator, AsyncUnknownModelThrowsFromFuture) {
+TEST(Orchestrator, AsyncUnknownModelResolvesTypedStatus) {
   Orchestrator orc;
   orc.put_tensor("x", Tensor({1, 1}, {1}));
   auto f = orc.run_model_async("nope", "x", "y");
-  EXPECT_THROW(f.get(), Error);
+  EXPECT_EQ(f.get().code(), StatusCode::kModelUnavailable);
+}
+
+TEST(Orchestrator, AsyncMissingInputResolvesNotFound) {
+  Orchestrator orc;
+  orc.set_model("m", tiny_model());
+  auto f = orc.run_model_async("m", "absent", "y");
+  EXPECT_EQ(f.get().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(orc.has_tensor("y"));
 }
 
 TEST(Orchestrator, MixedStoreAndInferenceStress) {
@@ -379,7 +399,7 @@ TEST(Orchestrator, MixedStoreAndInferenceStress) {
   // Reference output for the one shared input row.
   Client ref(orc);
   ref.put_tensor("ref_in", Tensor({1, 4}, {1, 2, 3, 4}));
-  ref.run_model("m", "ref_in", "ref_out");
+  ASSERT_TRUE(ref.run_model("m", "ref_in", "ref_out").is_ok());
   const Tensor expected = ref.unpack_tensor("ref_out");
 
   std::vector<std::thread> threads;
@@ -396,7 +416,7 @@ TEST(Orchestrator, MixedStoreAndInferenceStress) {
         auto f = c.run_model_async("m", in, out);
         EXPECT_TRUE(orc.has_tensor(scratch));
         orc.delete_tensor(scratch);
-        f.get();
+        EXPECT_TRUE(f.get().is_ok());
         const Tensor got = c.unpack_tensor(out);
         ASSERT_EQ(got.size(), expected.size());
         for (std::size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], expected[k]);
@@ -424,11 +444,11 @@ TEST(Batching, BitwiseIdenticalToPerRowInference) {
   for (std::size_t i = 0; i < kRows; ++i) {
     rows.push_back(Tensor::randn({1, 4}, rng));
     client.put_tensor("in", rows.back());
-    client.run_model("m", "in", "out");
+    ASSERT_TRUE(client.run_model("m", "in", "out").is_ok());
     expected.push_back(client.unpack_tensor("out"));
   }
 
-  std::vector<std::future<Tensor>> futures;
+  std::vector<std::future<Result<Tensor>>> futures;
   futures.reserve(kRows);
   for (std::size_t i = 0; i < kRows; ++i) {
     futures.push_back(client.run_model_batched("m", rows[i]));
@@ -436,7 +456,9 @@ TEST(Batching, BitwiseIdenticalToPerRowInference) {
   orc.flush_batches();  // resolve the trailing partial batch
 
   for (std::size_t i = 0; i < kRows; ++i) {
-    const Tensor got = futures[i].get();
+    Result<Tensor> r = futures[i].get();
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    const Tensor got = r.value();
     ASSERT_EQ(got.size(), expected[i].size());
     // Bitwise comparison, not EXPECT_NEAR: the batched GEMM accumulates each
     // row in the same order as the single-row GEMM.
@@ -454,12 +476,12 @@ TEST(Batching, CoalescesUpToMaxBatch) {
   Orchestrator orc(DeviceModel{}, opts);
   orc.set_model("m", tiny_model());
 
-  std::vector<std::future<Tensor>> futures;
+  std::vector<std::future<Result<Tensor>>> futures;
   for (std::size_t i = 0; i < 40; ++i) {
     futures.push_back(orc.run_model_batched("m", Tensor({1, 4}, {1, 2, 3, 4})));
   }
   orc.flush_batches();
-  for (auto& f : futures) (void)f.get();
+  for (auto& f : futures) EXPECT_TRUE(f.get().is_ok());
 
   const ServingStatsSnapshot snap = orc.stats().snapshot();
   EXPECT_EQ(snap.requests_served, 40u);
@@ -481,7 +503,7 @@ TEST(Batching, ConcurrentSubmittersAllResolve) {
 
   Client ref(orc);
   ref.put_tensor("in", Tensor({1, 4}, {1, 2, 3, 4}));
-  ref.run_model("m", "in", "out");
+  ASSERT_TRUE(ref.run_model("m", "in", "out").is_ok());
   const Tensor expected = ref.unpack_tensor("out");
 
   std::vector<std::thread> threads;
@@ -489,7 +511,9 @@ TEST(Batching, ConcurrentSubmittersAllResolve) {
     threads.emplace_back([&orc, &expected] {
       Client c(orc);
       for (int i = 0; i < 20; ++i) {
-        const Tensor got = c.run_model_batched("m", Tensor({1, 4}, {1, 2, 3, 4})).get();
+        Result<Tensor> r = c.run_model_batched("m", Tensor({1, 4}, {1, 2, 3, 4})).get();
+        ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+        const Tensor got = r.value();
         ASSERT_EQ(got.size(), expected.size());
         for (std::size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], expected[k]);
       }
@@ -498,13 +522,34 @@ TEST(Batching, ConcurrentSubmittersAllResolve) {
   for (auto& th : threads) th.join();
 }
 
-TEST(Batching, UnknownModelPropagatesThroughFuture) {
+TEST(Batching, UnknownModelResolvesTypedStatus) {
   OrchestratorOptions opts;
   opts.batch_delay_seconds = 0.0;
   Orchestrator orc(DeviceModel{}, opts);
   auto f = orc.run_model_batched("nope", Tensor({1, 4}, {1, 2, 3, 4}));
   orc.flush_batches();
-  EXPECT_THROW((void)f.get(), Error);
+  EXPECT_EQ(f.get().code(), StatusCode::kModelUnavailable);
+}
+
+TEST(Batching, ModelRemovedBeforeDispatchResolvesTypedStatus) {
+  // The model exists at submit time but is gone at batch-execution time: the
+  // failure must surface as a typed status through every affected future.
+  OrchestratorOptions opts;
+  opts.batch_delay_seconds = 0.0;
+  Orchestrator orc(DeviceModel{}, opts);
+  BatchingQueue queue(
+      [](const std::string& name, const Tensor& batch) {
+        // Mimics the orchestrator's BatchFn against an empty registry.
+        return BatchingQueue::RowResults(
+            batch.rows(), Result<Tensor>(Status(StatusCode::kModelUnavailable,
+                                                "no model named '" + name + "'")));
+      },
+      BatchingOptions{.max_batch = 8, .max_delay_seconds = 0.0});
+  auto f1 = queue.submit("gone", Tensor({1, 4}, {1, 2, 3, 4}));
+  auto f2 = queue.submit("gone", Tensor({1, 4}, {5, 6, 7, 8}));
+  queue.flush();
+  EXPECT_EQ(f1.get().code(), StatusCode::kModelUnavailable);
+  EXPECT_EQ(f2.get().code(), StatusCode::kModelUnavailable);
 }
 
 // ------------------------------------------------------------- ServingStats
