@@ -1,5 +1,6 @@
 #include "core/config.hpp"
 
+#include <algorithm>
 #include <charconv>
 
 #include "common/error.hpp"
@@ -64,6 +65,8 @@ void Config::apply(const std::string& assignment) {
     k_max = to_size(value);
   } else if (key == "aeEpochs") {
     ae_epochs = to_size(value);
+  } else if (key == "searchWorkers") {
+    search_workers = to_size(value);
   } else if (key == "initModel") {
     if (value == "MLP" || value == "mlp") {
       init_model = nn::ModelKind::Mlp;
@@ -114,6 +117,7 @@ nas::NasOptions Config::nas_options() const {
   opts.k_min = k_min;
   opts.k_max = k_max;
   opts.ae_epochs = ae_epochs;
+  opts.eval_batch = std::max<std::size_t>(1, search_workers);
   return opts;
 }
 

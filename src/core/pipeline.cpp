@@ -1,9 +1,11 @@
 #include "core/pipeline.hpp"
 
+#include <memory>
 #include <numeric>
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ahn::core {
 
@@ -91,7 +93,13 @@ PipelineResult AutoHPCnet::run(apps::Application& app) const {
   // Phase 2: hierarchical BO with the customized autoencoder (§4, §5).
   std::shared_ptr<sparse::Csr> sparse_storage;
   nas::SearchTask task = make_task(app, std::move(data), valid_ids, sparse_storage);
-  const nas::TwoDNas searcher(config_.nas_options());
+  nas::NasOptions nas_opts = config_.nas_options();
+  std::unique_ptr<runtime::ThreadPool> search_pool;
+  if (config_.search_workers > 1) {
+    search_pool = std::make_unique<runtime::ThreadPool>(config_.search_workers);
+    nas_opts.pool = search_pool.get();
+  }
+  const nas::TwoDNas searcher(nas_opts);
   result.search = searcher.search(task);
   result.offline.search_seconds = result.search.search_seconds;
   result.offline.autoencoder_seconds = result.search.autoencoder_train_seconds;

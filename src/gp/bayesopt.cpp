@@ -55,6 +55,41 @@ std::vector<double> BayesianOptimizer::propose() {
   return candidates[best_idx];
 }
 
+std::vector<std::vector<double>> BayesianOptimizer::propose_batch(std::size_t q) {
+  AHN_CHECK(q >= 1);
+  std::vector<std::vector<double>> batch;
+  batch.reserve(q);
+  if (q == 1) {
+    batch.push_back(propose());
+    return batch;
+  }
+
+  // Constant-liar fantasy: pretend each pending point came back at the
+  // incumbent objective, exactly on the feasibility boundary.
+  double liar = 0.0;
+  if (const auto best = best_feasible()) {
+    liar = best->objective;
+  } else if (!history_.empty()) {
+    liar = std::numeric_limits<double>::infinity();
+    for (const auto& h : history_) liar = std::min(liar, h.objective);
+  }
+
+  const std::size_t real = history_.size();
+  for (std::size_t i = 0; i < q; ++i) {
+    std::vector<double> x = propose();
+    batch.push_back(x);
+    observe({std::move(x), liar, opts_.constraint_threshold});
+  }
+  // Drop the fantasies and restore the models to the real history.
+  history_.resize(real);
+  if (history_.size() >= opts_.init_samples) {
+    refit();
+  } else {
+    models_ready_ = false;
+  }
+  return batch;
+}
+
 void BayesianOptimizer::observe(BoObservation obs) {
   AHN_CHECK(obs.x.size() == opts_.dim);
   history_.push_back(std::move(obs));

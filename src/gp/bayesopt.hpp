@@ -39,6 +39,14 @@ class BayesianOptimizer {
   /// random candidates plus local perturbations of the incumbent.
   [[nodiscard]] std::vector<double> propose();
 
+  /// Proposes q points for concurrent evaluation using the constant-liar
+  /// strategy: after each proposal the optimizer observes a fantasy outcome
+  /// (the incumbent objective at the feasibility boundary), so successive
+  /// proposals avoid piling onto one spot. The fantasies are removed and the
+  /// models refitted on real data before returning. propose_batch(1) draws
+  /// exactly the same point propose() would.
+  [[nodiscard]] std::vector<std::vector<double>> propose_batch(std::size_t q);
+
   void observe(BoObservation obs);
 
   [[nodiscard]] const std::vector<BoObservation>& history() const noexcept {

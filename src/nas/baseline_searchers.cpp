@@ -1,8 +1,11 @@
 #include "nas/baseline_searchers.hpp"
 
 #include <cmath>
+#include <future>
+#include <utility>
 
 #include "common/timer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ahn::nas {
 
@@ -12,9 +15,42 @@ namespace {
 /// on full-width data, observe validation loss; fill in the quality/cost
 /// fields afterwards so results are comparable with Auto-HPCnet's.
 PipelineModel loss_driven_candidate(const SearchTask& task, const nn::TopologySpec& spec,
-                                    Rng& rng) {
-  PipelineModel pm = evaluate_candidate(task, spec, nullptr, task.data, rng);
+                                    Rng rng) {
+  PipelineModel pm = evaluate_candidate(task, spec, nullptr, task.data, std::move(rng));
   return pm;
+}
+
+struct TimedEval {
+  PipelineModel pm;
+  double seconds = 0.0;
+};
+
+/// Trains the drafted specs — concurrently on the pool when one is set,
+/// inline otherwise — and returns results in draft order. Each spec comes
+/// paired with its pre-forked Rng, so scheduling cannot change any outcome.
+std::vector<TimedEval> evaluate_drafts(
+    const SearchTask& task, runtime::ThreadPool* pool,
+    std::vector<std::pair<nn::TopologySpec, Rng>> drafts) {
+  std::vector<TimedEval> out(drafts.size());
+  std::vector<std::future<TimedEval>> futures(drafts.size());
+  for (std::size_t i = 0; i < drafts.size(); ++i) {
+    auto job = [&task, spec = drafts[i].first, child = drafts[i].second] {
+      const Timer t;
+      TimedEval e;
+      e.pm = loss_driven_candidate(task, spec, child);
+      e.seconds = t.seconds();
+      return e;
+    };
+    if (pool != nullptr) {
+      futures[i] = pool->submit(std::move(job));
+    } else {
+      out[i] = job();
+    }
+  }
+  for (std::size_t i = 0; i < drafts.size(); ++i) {
+    if (futures[i].valid()) out[i] = futures[i].get();
+  }
+  return out;
 }
 
 SearchStep step_from(const PipelineModel& pm, double elapsed, std::size_t outer = 0) {
@@ -46,20 +82,30 @@ NasResult AutokerasLike::search(const SearchTask& task) const {
   NasResult result;
   double best_loss = std::numeric_limits<double>::infinity();
 
-  for (std::size_t it = 0; it < options_.iterations; ++it) {
-    const std::vector<double> x = bo.propose();
-    const nn::TopologySpec spec = task.space.decode(x);
-    const Timer step_timer;
-    PipelineModel pm = loss_driven_candidate(task, spec, rng);
-    // Objective is the model's own validation loss — NOT application quality
-    // and NOT inference time (the baseline's defining blind spots).
-    const double val_loss = pm.surrogate.result.val_loss;
-    bo.observe({x, val_loss, 0.0});
-    result.steps.push_back(step_from(pm, step_timer.seconds()));
-    if (val_loss < best_loss) {
-      best_loss = val_loss;
-      result.best = std::move(pm);
+  const std::size_t batch = std::max<std::size_t>(1, options_.eval_batch);
+  for (std::size_t it = 0; it < options_.iterations;) {
+    const std::size_t q = std::min(batch, options_.iterations - it);
+    const std::vector<std::vector<double>> xs = bo.propose_batch(q);
+    std::vector<std::pair<nn::TopologySpec, Rng>> drafts;
+    drafts.reserve(xs.size());
+    for (const std::vector<double>& x : xs) {
+      drafts.emplace_back(task.space.decode(x), rng.fork());
     }
+    std::vector<TimedEval> evals =
+        evaluate_drafts(task, options_.pool, std::move(drafts));
+    for (std::size_t i = 0; i < evals.size(); ++i) {
+      PipelineModel& pm = evals[i].pm;
+      // Objective is the model's own validation loss — NOT application
+      // quality and NOT inference time (the baseline's defining blind spots).
+      const double val_loss = pm.surrogate.result.val_loss;
+      bo.observe({xs[i], val_loss, 0.0});
+      result.steps.push_back(step_from(pm, evals[i].seconds));
+      if (val_loss < best_loss) {
+        best_loss = val_loss;
+        result.best = std::move(pm);
+      }
+    }
+    it += q;
   }
   result.found_feasible = result.best.quality_error <= task.quality_bound;
   result.search_seconds = total.seconds();
@@ -73,20 +119,25 @@ NasResult GridSearch::search(const SearchTask& task) const {
 
   NasResult result;
   double best_loss = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<nn::TopologySpec, Rng>> drafts;
+  drafts.reserve(options_.layer_grid.size() * options_.unit_grid.size());
   for (std::size_t layers : options_.layer_grid) {
     for (std::size_t units : options_.unit_grid) {
       nn::TopologySpec spec;
       spec.kind = nn::ModelKind::Mlp;
       spec.num_layers = layers;
       spec.hidden_units = units;
-      const Timer step_timer;
-      PipelineModel pm = loss_driven_candidate(task, spec, rng);
-      const double val_loss = pm.surrogate.result.val_loss;
-      result.steps.push_back(step_from(pm, step_timer.seconds()));
-      if (val_loss < best_loss) {
-        best_loss = val_loss;
-        result.best = std::move(pm);
-      }
+      drafts.emplace_back(spec, rng.fork());
+    }
+  }
+  std::vector<TimedEval> evals =
+      evaluate_drafts(task, options_.pool, std::move(drafts));
+  for (TimedEval& e : evals) {
+    const double val_loss = e.pm.surrogate.result.val_loss;
+    result.steps.push_back(step_from(e.pm, e.seconds));
+    if (val_loss < best_loss) {
+      best_loss = val_loss;
+      result.best = std::move(e.pm);
     }
   }
   result.found_feasible = result.best.quality_error <= task.quality_bound;
@@ -141,7 +192,7 @@ NasResult FlatJointNas::search(const SearchTask& task) const {
                                          : ae->encode(task.data.x);
     reduced.y = task.data.y;
 
-    PipelineModel pm = evaluate_candidate(task, spec, ae, reduced, rng);
+    PipelineModel pm = evaluate_candidate(task, spec, ae, reduced, rng.fork());
     double constraint = pm.quality_error;
     if (!ae_rep.meets_bound) {
       constraint = std::max(constraint, task.quality_bound * 2.0 + ae_rep.miss_fraction);

@@ -12,7 +12,7 @@ std::vector<double> PipelineModel::infer(std::span<const double> features) const
 
 PipelineModel evaluate_candidate(const SearchTask& task, const nn::TopologySpec& spec,
                                  std::shared_ptr<const autoencoder::Autoencoder> encoder,
-                                 const nn::Dataset& reduced_data, Rng& rng) {
+                                 const nn::Dataset& reduced_data, Rng rng) {
   PipelineModel pm;
   pm.encoder = std::move(encoder);
   pm.spec = spec;

@@ -51,10 +51,13 @@ struct SearchTask {
 };
 
 /// Builds, trains and prices one candidate on (optionally reduced) data.
-/// Shared by all searchers.
+/// Shared by all searchers. Takes its Rng by value so each candidate owns an
+/// independent stream — the searchers fork one child per proposal in a fixed
+/// drafting order, which is what lets concurrent evaluation reproduce the
+/// serial results exactly.
 [[nodiscard]] PipelineModel evaluate_candidate(
     const SearchTask& task, const nn::TopologySpec& spec,
     std::shared_ptr<const autoencoder::Autoencoder> encoder,
-    const nn::Dataset& reduced_data, Rng& rng);
+    const nn::Dataset& reduced_data, Rng rng);
 
 }  // namespace ahn::nas

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <istream>
 #include <ostream>
+#include <utility>
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace ahn::nas {
 
@@ -56,12 +59,33 @@ bool better_pipeline(const PipelineModel& a, const PipelineModel& b, double boun
   return a.quality_error < b.quality_error;
 }
 
+/// Memo-cache key for one topology under a given evaluation context.
+std::string spec_key(std::string prefix, const nn::TopologySpec& s) {
+  prefix += std::to_string(static_cast<int>(s.kind));
+  prefix += '|';
+  prefix += std::to_string(s.num_layers);
+  prefix += '|';
+  prefix += std::to_string(s.hidden_units);
+  prefix += '|';
+  prefix += std::to_string(s.channels);
+  prefix += '|';
+  prefix += std::to_string(s.kernel);
+  prefix += '|';
+  prefix += std::to_string(s.pool);
+  prefix += '|';
+  prefix += s.residual ? '1' : '0';
+  prefix += '|';
+  prefix += std::to_string(static_cast<int>(s.act));
+  return prefix;
+}
+
 }  // namespace
 
 TwoDNas::InnerOutcome TwoDNas::inner_search(
     const SearchTask& task, const nn::Dataset& reduced,
     std::shared_ptr<const autoencoder::Autoencoder> encoder, double encoding_miss,
-    std::size_t outer_iter, Rng& rng, std::size_t iterations) const {
+    std::size_t outer_iter, Rng& rng, EvalMemo& memo,
+    std::size_t iterations) const {
   if (iterations == 0) iterations = options_.inner_iterations;
   gp::BoOptions bo_opts;
   bo_opts.dim = nn::TopologySpace::encoded_dim();
@@ -69,13 +93,36 @@ TwoDNas::InnerOutcome TwoDNas::inner_search(
   bo_opts.init_samples = options_.bayesian_init;
   gp::BayesianOptimizer bo(bo_opts, rng.fork());
 
-  InnerOutcome outcome;
-  const Timer total;
-  auto run_one = [&](const nn::TopologySpec& spec, const std::vector<double>& x) {
-    const Timer step_timer;
-    PipelineModel pm = evaluate_candidate(task, spec, encoder, reduced, rng);
-    bo.observe({x, pm.modeled_infer_seconds, pm.quality_error});
+  // Memo keys: unreduced evaluations are valid search-wide ("full"); an
+  // encoder-backed evaluation is only reusable within its outer iteration,
+  // whose fresh autoencoder it was trained on.
+  const std::string key_prefix =
+      encoder == nullptr ? "full|" : "enc" + std::to_string(outer_iter) + "|";
 
+  InnerOutcome outcome;
+
+  /// One drafted candidate of a round. Drafting runs on the coordinator in
+  /// proposal order — the Rng fork, memo lookup and within-round dedup all
+  /// happen there, so the round's outcome is independent of how (or whether)
+  /// the evaluations are parallelized.
+  struct Draft {
+    nn::TopologySpec spec;
+    std::vector<double> x;
+    std::string key;
+    Rng child;
+    const PipelineModel* cached = nullptr;      ///< memo hit
+    std::size_t dup_of = SIZE_MAX;              ///< earlier same-key draft
+  };
+
+  auto draft = [&](nn::TopologySpec spec, std::vector<double> x) {
+    Draft d{std::move(spec), std::move(x), {}, rng.fork()};
+    d.key = spec_key(key_prefix, d.spec);
+    return d;
+  };
+
+  auto record = [&](const PipelineModel& pm, const std::vector<double>& x,
+                    const nn::TopologySpec& spec, double elapsed) {
+    bo.observe({x, pm.modeled_infer_seconds, pm.quality_error});
     SearchStep step;
     step.outer_iteration = outer_iter;
     step.latent_k = pm.latent_k;
@@ -83,14 +130,71 @@ TwoDNas::InnerOutcome TwoDNas::inner_search(
     step.quality_error = pm.quality_error;
     step.modeled_infer_seconds = pm.modeled_infer_seconds;
     step.encoding_miss = encoding_miss;
-    step.elapsed_seconds = step_timer.seconds();
+    step.elapsed_seconds = elapsed;
     outcome.steps.push_back(step);
-
     if (outcome.best.surrogate.net.layer_count() == 0 ||
         better_pipeline(pm, outcome.best, task.quality_bound)) {
-      outcome.best = std::move(pm);
+      outcome.best = pm;
     }
   };
+
+  /// Evaluates a drafted round: memo hits and duplicates resolve without
+  /// training, misses train concurrently on the pool (inline without one),
+  /// and observations are recorded strictly in proposal order afterwards.
+  auto run_round = [&](std::vector<Draft>& round) {
+    struct Fresh {
+      PipelineModel pm;
+      double seconds = 0.0;
+    };
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      Draft& d = round[i];
+      if (auto it = memo.find(d.key); it != memo.end()) {
+        d.cached = &it->second;
+        continue;
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        if (round[j].cached == nullptr && round[j].dup_of == SIZE_MAX &&
+            round[j].key == d.key) {
+          d.dup_of = j;
+          break;
+        }
+      }
+    }
+    std::vector<std::future<Fresh>> futures(round.size());
+    std::vector<Fresh> fresh(round.size());
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      const Draft& d = round[i];
+      if (d.cached != nullptr || d.dup_of != SIZE_MAX) continue;
+      auto job = [&task, &reduced, &encoder, spec = d.spec, child = d.child] {
+        const Timer step_timer;
+        Fresh f;
+        f.pm = evaluate_candidate(task, spec, encoder, reduced, child);
+        f.seconds = step_timer.seconds();
+        return f;
+      };
+      if (options_.pool != nullptr) {
+        futures[i] = options_.pool->submit(std::move(job));
+      } else {
+        fresh[i] = job();
+      }
+    }
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      if (futures[i].valid()) fresh[i] = futures[i].get();
+    }
+    for (std::size_t i = 0; i < round.size(); ++i) {
+      Draft& d = round[i];
+      if (d.cached != nullptr) {
+        record(*d.cached, d.x, d.spec, 0.0);
+      } else if (d.dup_of != SIZE_MAX) {
+        record(memo.at(d.key), d.x, d.spec, 0.0);
+      } else {
+        const auto it = memo.emplace(d.key, std::move(fresh[i].pm)).first;
+        record(it->second, d.x, d.spec, fresh[i].seconds);
+      }
+    }
+  };
+
+  const std::size_t batch = std::max<std::size_t>(1, options_.eval_batch);
 
   // Seed evaluations (the BO's initial design): the configured starting
   // topology (§6.1 searchType), plus a wide linear probe — HPC code regions
@@ -99,21 +203,34 @@ TwoDNas::InnerOutcome TwoDNas::inner_search(
   const nn::TopologySpec seed_spec = options_.search_type == SearchType::UserModel
                                          ? options_.user_model
                                          : autokeras_default_spec();
-  run_one(seed_spec, task.space.encode(seed_spec));
-  std::size_t it = 1;
-  if (it < iterations) {
+  std::vector<Draft> seeds;
+  seeds.push_back(draft(seed_spec, task.space.encode(seed_spec)));
+  if (iterations > 1) {
     nn::TopologySpec probe;
     probe.kind = nn::ModelKind::Mlp;
     probe.num_layers = 1;
     probe.hidden_units = std::min<std::size_t>(256, reduced.out_features() + 32);
     probe.act = nn::Activation::Identity;
-    run_one(probe, task.space.encode(probe));
-    ++it;
+    seeds.push_back(draft(probe, task.space.encode(probe)));
+  }
+  std::size_t it = 0;
+  for (std::size_t s = 0; s < seeds.size(); s += batch) {
+    std::vector<Draft> round;
+    for (std::size_t i = s; i < std::min(seeds.size(), s + batch); ++i) {
+      round.push_back(std::move(seeds[i]));
+    }
+    it += round.size();
+    run_round(round);
   }
 
-  for (; it < iterations; ++it) {
-    const std::vector<double> x = bo.propose();
-    run_one(task.space.decode(x), x);
+  while (it < iterations) {
+    const std::size_t q = std::min(batch, iterations - it);
+    const std::vector<std::vector<double>> xs = bo.propose_batch(q);
+    std::vector<Draft> round;
+    round.reserve(xs.size());
+    for (const std::vector<double>& x : xs) round.push_back(draft(task.space.decode(x), x));
+    it += round.size();
+    run_round(round);
   }
   return outcome;
 }
@@ -128,13 +245,14 @@ NasResult TwoDNas::search_from(const SearchTask& task,
   Rng rng(task.seed);
   NasResult result;
   result.steps = prior;
+  EvalMemo memo;
 
   const std::size_t in_width = task.data.in_features();
 
   // FullInput mode (Table 1 searchType (3)): no feature reduction at all —
   // a single inner search on the raw features.
   if (options_.search_type == SearchType::FullInput || in_width <= options_.k_min) {
-    InnerOutcome inner = inner_search(task, task.data, nullptr, 0.0, 0, rng);
+    InnerOutcome inner = inner_search(task, task.data, nullptr, 0.0, 0, rng, memo);
     result.steps.insert(result.steps.end(), inner.steps.begin(), inner.steps.end());
     result.best = std::move(inner.best);
     result.found_feasible = result.best.quality_error <= task.quality_bound;
@@ -151,7 +269,7 @@ NasResult TwoDNas::search_from(const SearchTask& task,
   {
     // Wide full-width candidates are the expensive ones to train; a short
     // reference arm (2 evaluations) is enough to anchor the comparison.
-    InnerOutcome full = inner_search(task, task.data, nullptr, 0.0, 0, rng,
+    InnerOutcome full = inner_search(task, task.data, nullptr, 0.0, 0, rng, memo,
                                      std::min<std::size_t>(2, options_.inner_iterations));
     result.steps.insert(result.steps.end(), full.steps.begin(), full.steps.end());
     result.best = std::move(full.best);
@@ -200,7 +318,7 @@ NasResult TwoDNas::search_from(const SearchTask& task,
     reduced.y = task.data.y;
 
     InnerOutcome inner =
-        inner_search(task, reduced, ae, ae_rep.miss_fraction, outer_iter, rng);
+        inner_search(task, reduced, ae, ae_rep.miss_fraction, outer_iter, rng, memo);
     result.steps.insert(result.steps.end(), inner.steps.begin(), inner.steps.end());
 
     // Outer observation: the inner loop's best (f_c, f_e); an autoencoder

@@ -11,9 +11,15 @@
 // against a flat joint BO.
 
 #include <iosfwd>
+#include <string>
+#include <unordered_map>
 
 #include "gp/bayesopt.hpp"
 #include "nas/search_task.hpp"
+
+namespace ahn::runtime {
+class ThreadPool;
+}
 
 namespace ahn::nas {
 
@@ -34,6 +40,14 @@ struct NasOptions {
   /// stagnation count (the paper: "a continuing search does not lead to
   /// enough improvement").
   std::size_t patience = 3;
+  /// Inner-loop candidates proposed per BO round (constant-liar batch) and
+  /// trained concurrently. An algorithm parameter, independent of worker
+  /// count: the same eval_batch yields the same search whether candidates
+  /// run on a pool or inline.
+  std::size_t eval_batch = 1;
+  /// Executor for concurrent candidate training; null = evaluate inline on
+  /// the caller's thread. Not owned.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 /// One completed (K, theta) evaluation — the searchers' audit trail and the
@@ -79,10 +93,17 @@ class TwoDNas {
     std::vector<SearchStep> steps;
   };
 
+  /// Memoizes completed (K, theta) evaluations across the whole search so a
+  /// re-proposed candidate is never retrained. Keys qualify the spec with
+  /// the outer iteration (each iteration trains a fresh autoencoder) or with
+  /// "full" for unreduced evaluations, which stay valid search-wide.
+  using EvalMemo = std::unordered_map<std::string, PipelineModel>;
+
   [[nodiscard]] InnerOutcome inner_search(
       const SearchTask& task, const nn::Dataset& reduced,
       std::shared_ptr<const autoencoder::Autoencoder> encoder, double encoding_miss,
-      std::size_t outer_iter, Rng& rng, std::size_t iterations = 0) const;
+      std::size_t outer_iter, Rng& rng, EvalMemo& memo,
+      std::size_t iterations = 0) const;
 
   NasOptions options_;
 };

@@ -54,9 +54,8 @@ DenseLayer::DenseLayer(std::size_t in, std::size_t out, Rng& rng)
 Tensor DenseLayer::forward(const Tensor& x, bool training) {
   AHN_CHECK_MSG(x.cols() == in_, "dense: got " << x.cols() << " features, want " << in_);
   if (training) x_cache_ = x;
-  Tensor y = ops::matmul(x, w_);
-  ops::add_row_bias(y, b_);
-  return y;
+  // Bias fused into the GEMM write-back; activation stays a separate layer.
+  return ops::matmul_epilogue(x, w_, &b_, ops::EpilogueAct::None);
 }
 
 Tensor DenseLayer::backward(const Tensor& grad_out) {

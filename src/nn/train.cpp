@@ -20,6 +20,16 @@ Dataset Dataset::subset(const std::vector<std::size_t>& rows) const {
   return out;
 }
 
+void Dataset::gather_rows(std::span<const std::size_t> rows, Dataset& out) const {
+  AHN_CHECK(out.x.rows() == rows.size() && out.x.cols() == x.cols());
+  AHN_CHECK(out.y.rows() == rows.size() && out.y.cols() == y.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    AHN_CHECK(rows[i] < size());
+    std::copy(x.row(rows[i]).begin(), x.row(rows[i]).end(), out.x.row(i).begin());
+    std::copy(y.row(rows[i]).begin(), y.row(rows[i]).end(), out.y.row(i).begin());
+  }
+}
+
 std::pair<Dataset, Dataset> Dataset::split(double ratio, Rng& rng) const {
   AHN_CHECK(ratio > 0.0 && ratio < 1.0);
   AHN_CHECK(size() >= 2);
@@ -137,6 +147,7 @@ TrainedSurrogate train_surrogate(Network net, const Dataset& data,
   Network best_net = net;
   std::size_t stale = 0;
   TrainResult res;
+  Dataset full_batch, tail_batch;
 
   for (std::size_t epoch = 0; epoch < opts.epochs; ++epoch) {
     rng.shuffle(order);
@@ -144,9 +155,15 @@ TrainedSurrogate train_surrogate(Network net, const Dataset& data,
     std::size_t batches = 0;
     for (std::size_t start = 0; start < n; start += bs) {
       const std::size_t end = std::min(start + bs, n);
-      const std::vector<std::size_t> rows(order.begin() + static_cast<std::ptrdiff_t>(start),
-                                          order.begin() + static_cast<std::ptrdiff_t>(end));
-      const Dataset batch = train.subset(rows);
+      const std::size_t len = end - start;
+      // Reuse one preallocated buffer per batch size (full-size steps plus
+      // at most one tail size) instead of allocating a Dataset every step.
+      Dataset& batch = len == bs ? full_batch : tail_batch;
+      if (batch.x.rank() != 2 || batch.x.rows() != len) {
+        batch.x = Tensor({len, train.in_features()});
+        batch.y = Tensor({len, train.out_features()});
+      }
+      train.gather_rows({order.data() + start, len}, batch);
       epoch_loss += net.train_batch(batch.x, batch.y, opts.loss, opt,
                                     opts.checkpoint_segments);
       ++batches;

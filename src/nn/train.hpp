@@ -28,6 +28,12 @@ struct Dataset {
   /// Row subset by index list.
   [[nodiscard]] Dataset subset(const std::vector<std::size_t>& rows) const;
 
+  /// Copies the listed rows into `out`, which must already have the right
+  /// shape (rows.size() x in/out features). The allocation-free counterpart
+  /// of subset() that the training loop uses to reuse one batch buffer
+  /// across every step.
+  void gather_rows(std::span<const std::size_t> rows, Dataset& out) const;
+
   /// Shuffled train/validation split; ratio = train fraction (Table 1
   /// trainRatio). Both halves non-empty for any 0 < ratio < 1.
   [[nodiscard]] std::pair<Dataset, Dataset> split(double ratio, Rng& rng) const;

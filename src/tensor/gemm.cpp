@@ -1,0 +1,199 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ahn::ops::detail {
+
+namespace {
+
+/// Reads op(A)(i, p): A is (m x k) row-major, or (k x m) when transposed.
+inline double a_at(const double* a, bool a_trans, std::size_t m, std::size_t k,
+                   std::size_t i, std::size_t p) noexcept {
+  return a_trans ? a[p * m + i] : a[i * k + p];
+}
+
+/// Reads op(B)(p, j): B is (k x n) row-major, or (n x k) when transposed.
+inline double b_at(const double* b, bool b_trans, std::size_t n, std::size_t k,
+                   std::size_t p, std::size_t j) noexcept {
+  return b_trans ? b[j * k + p] : b[p * n + j];
+}
+
+/// Packs the (mc x kc) block of op(A) at (i0, p0) into MR-row panels:
+/// panel ir holds kc groups of MR consecutive row elements, zero-padded
+/// past the last valid row so the microkernel never needs an edge case.
+void pack_a(const double* a, bool a_trans, std::size_t m, std::size_t k,
+            std::size_t i0, std::size_t mc, std::size_t p0, std::size_t kc,
+            double* ap) {
+  for (std::size_t ir = 0; ir < mc; ir += kMr) {
+    const std::size_t rows = std::min(kMr, mc - ir);
+    double* panel = ap + ir * kc;  // ir/kMr panels of kMr*kc each
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        panel[p * kMr + r] = a_at(a, a_trans, m, k, i0 + ir + r, p0 + p);
+      }
+      for (std::size_t r = rows; r < kMr; ++r) panel[p * kMr + r] = 0.0;
+    }
+  }
+}
+
+/// Packs the (kc x n) slice of op(B) at row p0 into NR-column panels,
+/// zero-padded past the last valid column.
+void pack_b(const double* b, bool b_trans, std::size_t n, std::size_t k,
+            std::size_t p0, std::size_t kc, double* bp) {
+  const std::size_t n_panels = (n + kNr - 1) / kNr;
+  for (std::size_t jp = 0; jp < n_panels; ++jp) {
+    const std::size_t j0 = jp * kNr;
+    const std::size_t cols = std::min(kNr, n - j0);
+    double* panel = bp + jp * kNr * kc;
+    for (std::size_t p = 0; p < kc; ++p) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        panel[p * kNr + j] = b_at(b, b_trans, n, k, p0 + p, j0 + j);
+      }
+      for (std::size_t j = cols; j < kNr; ++j) panel[p * kNr + j] = 0.0;
+    }
+  }
+}
+
+/// MR x NR register tile over one packed-panel pair. The p loop is the only
+/// reduction; acc is a chain of in-order fused multiply-adds per element.
+inline void micro_kernel(std::size_t kc, const double* __restrict ap,
+                         const double* __restrict bp,
+                         double acc[kMr][kNr]) noexcept {
+  for (std::size_t r = 0; r < kMr; ++r) {
+    for (std::size_t j = 0; j < kNr; ++j) acc[r][j] = 0.0;
+  }
+  for (std::size_t p = 0; p < kc; ++p) {
+    const double* __restrict arow = ap + p * kMr;
+    const double* __restrict brow = bp + p * kNr;
+    for (std::size_t r = 0; r < kMr; ++r) {
+      const double av = arow[r];
+      for (std::size_t j = 0; j < kNr; ++j) acc[r][j] += av * brow[j];
+    }
+  }
+}
+
+/// Merges a microtile into C: overwrite on the first KC panel, accumulate on
+/// later ones, and fold the epilogue into the write-back of the last panel.
+inline void write_back(double* c, std::size_t ldc, std::size_t rows,
+                       std::size_t cols, const double acc[kMr][kNr], bool first,
+                       bool last, const double* bias, EpilogueAct act) noexcept {
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* crow = c + r * ldc;
+    for (std::size_t j = 0; j < cols; ++j) {
+      double v = acc[r][j];
+      if (!first) v += crow[j];
+      if (last) {
+        if (bias != nullptr) v += bias[j];
+        if (act != EpilogueAct::None) v = epilogue_apply(act, v);
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+/// Unpacked path for small products (k * n below kSmallGemm): the seed's
+/// row-parallel i-l-j loops plus the fused epilogue. Accumulation per
+/// element is the plain ascending-l chain, again independent of m and of
+/// the thread count.
+void gemm_small(bool a_trans, bool b_trans, std::size_t m, std::size_t n,
+                std::size_t k, const double* a, const double* b, double* c,
+                const double* bias, EpilogueAct act) {
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < m; ++i) {
+    double* __restrict crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) crow[j] = 0.0;
+    if (!b_trans) {
+      for (std::size_t p = 0; p < k; ++p) {
+        const double av = a_at(a, a_trans, m, k, i, p);
+        const double* __restrict brow = b + p * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* __restrict brow = b + j * k;
+        double s = 0.0;
+        if (a_trans) {
+          for (std::size_t p = 0; p < k; ++p) s += a[p * m + i] * brow[p];
+        } else {
+          const double* __restrict arow = a + i * k;
+          for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        }
+        crow[j] = s;
+      }
+    }
+    if (bias != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] += bias[j];
+    }
+    if (act != EpilogueAct::None) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] = epilogue_apply(act, crow[j]);
+    }
+  }
+}
+
+void gemm_blocked(bool a_trans, bool b_trans, std::size_t m, std::size_t n,
+                  std::size_t k, const double* a, const double* b, double* c,
+                  const double* bias, EpilogueAct act) {
+  const std::size_t n_panels = (n + kNr - 1) / kNr;
+  const std::size_t n_rowblocks = (m + kMc - 1) / kMc;
+  // Shared packed-B slice for the current KC panel; every row block reads it.
+  std::vector<double> bp(n_panels * kNr * std::min(k, kKc));
+
+  for (std::size_t pc = 0; pc < k; pc += kKc) {
+    const std::size_t kc = std::min(kKc, k - pc);
+    const bool first = pc == 0;
+    const bool last = pc + kc == k;
+    pack_b(b, b_trans, n, k, pc, kc, bp.data());
+
+    // Threads own disjoint row blocks, so no two threads touch the same C
+    // element — the parallelism never reorders any element's reduction.
+#pragma omp parallel for schedule(static)
+    for (std::size_t ib = 0; ib < n_rowblocks; ++ib) {
+      const std::size_t i0 = ib * kMc;
+      const std::size_t mc = std::min(kMc, m - i0);
+      const std::size_t mc_padded = (mc + kMr - 1) / kMr * kMr;
+      static thread_local std::vector<double> ap;
+      ap.resize(mc_padded * kc);
+      pack_a(a, a_trans, m, k, i0, mc, pc, kc, ap.data());
+
+      for (std::size_t jp = 0; jp < n_panels; ++jp) {
+        const std::size_t j0 = jp * kNr;
+        const std::size_t cols = std::min(kNr, n - j0);
+        const double* bpanel = bp.data() + jp * kNr * kc;
+        for (std::size_t ir = 0; ir < mc; ir += kMr) {
+          const std::size_t rows = std::min(kMr, mc - ir);
+          double acc[kMr][kNr];
+          micro_kernel(kc, ap.data() + ir * kc, bpanel, acc);
+          write_back(c + (i0 + ir) * n + j0, n, rows, cols, acc, first, last,
+                     bias != nullptr ? bias + j0 : nullptr, act);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(bool a_trans, bool b_trans, std::size_t m, std::size_t n, std::size_t k,
+          const double* a, const double* b, double* c, const double* bias,
+          EpilogueAct act) {
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    // Degenerate reduction: the product is zero; only the epilogue runs.
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const double v = bias != nullptr ? bias[j] : 0.0;
+        c[i * n + j] = act != EpilogueAct::None ? epilogue_apply(act, v) : v;
+      }
+    }
+    return;
+  }
+  // Path choice must not depend on m (see kSmallGemm).
+  if (k * n <= kSmallGemm) {
+    gemm_small(a_trans, b_trans, m, n, k, a, b, c, bias, act);
+  } else {
+    gemm_blocked(a_trans, b_trans, m, n, k, a, b, c, bias, act);
+  }
+}
+
+}  // namespace ahn::ops::detail

@@ -1,0 +1,49 @@
+#pragma once
+// Cache-blocked, register-tiled GEMM core behind ops::matmul / matmul_nt /
+// matmul_tn / matmul_epilogue. Layout follows the classic Goto/BLIS loop
+// nest: the reduction dimension is split into KC panels (outermost, always
+// serial), B is packed once per KC panel into NR-wide column panels shared
+// by every thread, and threads claim disjoint MC row blocks whose A panels
+// they pack thread-locally into MR-row panels. The innermost microkernel
+// accumulates an MR x NR register tile over the packed panels.
+//
+// Determinism contract (the property gradient checkpointing and the serving
+// runtime's batched-inference bitwise guarantee rely on):
+//  * every C element is produced by exactly one thread (threads partition
+//    output row blocks, never the reduction dimension), and
+//  * its value is the ordered sum over KC panels of an in-order
+//    register-chained partial sum, with the epilogue (bias, activation)
+//    applied once after the final panel.
+// The accumulation order depends only on the reduction length k, never on
+// m, n, tile position, or thread count — so results are bitwise identical
+// across OMP_NUM_THREADS settings, and row i of a batched product equals
+// the same row computed as a 1-row product.
+
+#include <cstddef>
+
+#include "tensor/ops.hpp"
+
+namespace ahn::ops::detail {
+
+/// Register microtile: MR rows x NR columns of C.
+inline constexpr std::size_t kMr = 4;
+inline constexpr std::size_t kNr = 8;
+/// KC panel depth: A/B panel slices sized for L1/L2 residency.
+inline constexpr std::size_t kKc = 256;
+/// MC row block: unit of thread-level parallelism and A-packing.
+inline constexpr std::size_t kMc = 64;
+/// Products with k * n at or below this skip packing entirely (the panel
+/// setup would cost more than it saves). The threshold deliberately ignores
+/// m so a 1-row product takes the same code path — and therefore the same
+/// accumulation order — as any batch with the same (k, n).
+inline constexpr std::size_t kSmallGemm = 64 * 64;
+
+/// C = epilogue(op(A) * op(B) + bias), written (never accumulated) into c.
+/// a is (m x k) row-major, or (k x m) when a_trans; b is (k x n) row-major,
+/// or (n x k) when b_trans. bias (length n) may be null; act applies after
+/// the bias. c must not alias a or b.
+void gemm(bool a_trans, bool b_trans, std::size_t m, std::size_t n, std::size_t k,
+          const double* a, const double* b, double* c, const double* bias,
+          EpilogueAct act);
+
+}  // namespace ahn::ops::detail

@@ -3,6 +3,11 @@
 // neural-network stack; every kernel reports analytic FLOP counts through
 // FlopCounter so the device model can convert surrogate inference into
 // modeled accelerator time (Table 3 methodology).
+//
+// The GEMM family dispatches to the cache-blocked, register-tiled kernels in
+// gemm.cpp (see docs/PERFORMANCE.md for the design and the determinism
+// contract) or, when set_gemm_impl(GemmImpl::Naive) selects it, to the
+// retained seed loops in reference.cpp.
 
 #include <span>
 
@@ -10,7 +15,23 @@
 
 namespace ahn::ops {
 
-/// C = A * B for rank-2 tensors (m x k) * (k x n). OpenMP-parallel over rows.
+/// GEMM implementation selector: Fast = blocked/packed kernels (default),
+/// Naive = the retained seed triple loops (reference.cpp). Global and
+/// atomic; intended for benches, tests and A/B experiments, not for
+/// flipping mid-computation.
+enum class GemmImpl { Fast, Naive };
+void set_gemm_impl(GemmImpl impl) noexcept;
+[[nodiscard]] GemmImpl gemm_impl() noexcept;
+
+/// Pointwise activations the fused GEMM epilogue can apply in write-back.
+/// Mirrors nn::Activation numerically (same formulas) without depending on
+/// the nn module.
+enum class EpilogueAct { None, Relu, Tanh, Sigmoid, LeakyRelu };
+
+/// Applies one epilogue activation to a scalar (exposed for tests).
+[[nodiscard]] double epilogue_apply(EpilogueAct act, double x) noexcept;
+
+/// C = A * B for rank-2 tensors (m x k) * (k x n).
 [[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// C = A * B^T, (m x k) * (n x k)^T -> (m x n). Used by backprop.
@@ -18,6 +39,15 @@ namespace ahn::ops {
 
 /// C = A^T * B, (k x m)^T * (k x n) -> (m x n). Used by backprop.
 [[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// C = act(A * B + bias): the dense-layer forward pass with the bias add
+/// (and optionally the activation) fused into the GEMM write-back instead
+/// of a second pass over C. bias may be null (rank-1, length n otherwise).
+/// Bitwise-identical to matmul + add_row_bias + pointwise activation,
+/// because the epilogue applies after the identical accumulation.
+[[nodiscard]] Tensor matmul_epilogue(const Tensor& a, const Tensor& b,
+                                     const Tensor* bias,
+                                     EpilogueAct act = EpilogueAct::None);
 
 /// y = A * x for rank-2 A and rank-1 x.
 [[nodiscard]] Tensor matvec(const Tensor& a, const Tensor& x);
@@ -46,7 +76,7 @@ void add_row_bias(Tensor& t, const Tensor& bias);
 [[nodiscard]] double sum(const Tensor& t) noexcept;
 [[nodiscard]] double max_abs(const Tensor& t) noexcept;
 
-/// Transposes a rank-2 tensor.
+/// Transposes a rank-2 tensor (cache-blocked).
 [[nodiscard]] Tensor transpose(const Tensor& t);
 
 }  // namespace ahn::ops

@@ -1,0 +1,30 @@
+#pragma once
+// Retained naive GEMM/transpose kernels — the seed implementations that the
+// blocked kernels in gemm.cpp replaced. They stay in the tree as (a) the
+// ground truth the kernel tests compare against, (b) the baseline the
+// kernel microbench measures speedup over, and (c) a runtime fallback
+// selectable with ops::set_gemm_impl(GemmImpl::Naive) for A/B experiments.
+//
+// These functions do NOT report FlopCounter costs; the public ops:: entry
+// points do that regardless of which implementation runs.
+
+#include "tensor/tensor.hpp"
+
+namespace ahn::ops::ref {
+
+/// C = A * B, triple loop in the seed's i-l-j order (row-parallel).
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+/// C = A * B^T with B stored (n x k); dot-product loop order.
+[[nodiscard]] Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// C = A^T * B with A stored (k x m). Unlike the seed (which iterated the
+/// shared reduction dimension outermost and could not be parallelized
+/// without racing on C), this orders loops i-l-j so rows of C are
+/// independent — the reference for the fixed production kernel.
+[[nodiscard]] Tensor matmul_tn(const Tensor& a, const Tensor& b);
+
+/// Element-wise transpose, seed loop order.
+[[nodiscard]] Tensor transpose(const Tensor& t);
+
+}  // namespace ahn::ops::ref

@@ -202,5 +202,46 @@ TEST(Bo, HistoryAccumulates) {
   EXPECT_EQ(bo.history().size(), 7u);
 }
 
+TEST(Bo, ProposeBatchOfOneMatchesPropose) {
+  BoOptions opts;
+  opts.dim = 2;
+  opts.init_samples = 3;
+  // Identically seeded optimizers fed identical observations must draw the
+  // same point whether asked via propose() or propose_batch(1).
+  BayesianOptimizer a(opts, Rng(7));
+  BayesianOptimizer b(opts, Rng(7));
+  for (int i = 0; i < 6; ++i) {
+    const auto xa = a.propose();
+    const auto xb = b.propose_batch(1);
+    ASSERT_EQ(xb.size(), 1u);
+    ASSERT_EQ(xa, xb[0]);
+    const double f = (xa[0] - 0.4) * (xa[0] - 0.4) + xa[1];
+    a.observe({xa, f, 0.0});
+    b.observe({xb[0], f, 0.0});
+  }
+}
+
+TEST(Bo, ProposeBatchSpreadsAndRestoresHistory) {
+  BoOptions opts;
+  opts.dim = 1;
+  opts.init_samples = 3;
+  BayesianOptimizer bo(opts, Rng(8));
+  for (int i = 0; i < 5; ++i) {
+    const auto x = bo.propose();
+    bo.observe({x, (x[0] - 0.5) * (x[0] - 0.5), 0.0});
+  }
+  const std::size_t before = bo.history().size();
+  const auto batch = bo.propose_batch(4);
+  EXPECT_EQ(batch.size(), 4u);
+  // Constant-liar fantasies must not leak into the real history.
+  EXPECT_EQ(bo.history().size(), before);
+  // The batch should not collapse onto a single point.
+  bool any_distinct = false;
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    if (std::abs(batch[i][0] - batch[0][0]) > 1e-9) any_distinct = true;
+  }
+  EXPECT_TRUE(any_distinct);
+}
+
 }  // namespace
 }  // namespace ahn::gp

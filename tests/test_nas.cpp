@@ -13,6 +13,7 @@
 #include "baselines/perforation.hpp"
 #include "nas/baseline_searchers.hpp"
 #include "nas/two_d_nas.hpp"
+#include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
 namespace ahn::nas {
@@ -165,6 +166,113 @@ TEST(TwoDNas, WarmStartConsumesPriorSteps) {
   const NasResult first = nas.search(task);
   const NasResult second = nas.search_from(task, first.steps);
   EXPECT_GT(second.evaluations(), first.evaluations());
+}
+
+/// Steps and incumbent must be identical whether candidates train inline or
+/// on a thread pool — the per-candidate Rng forks are drafted in proposal
+/// order on the coordinator, so scheduling cannot perturb the search.
+TEST(TwoDNas, ParallelSearchMatchesSerialExactly) {
+  const SearchTask task = make_synthetic_task(24);
+  NasOptions opts;
+  opts.outer_iterations = 2;
+  opts.inner_iterations = 4;
+  opts.k_min = 2;
+  opts.k_max = 12;
+  opts.ae_epochs = 30;
+  opts.eval_batch = 3;
+
+  const NasResult serial = TwoDNas(opts).search(task);
+
+  runtime::ThreadPool pool(4);
+  opts.pool = &pool;
+  const NasResult parallel = TwoDNas(opts).search(task);
+
+  ASSERT_EQ(parallel.steps.size(), serial.steps.size());
+  for (std::size_t i = 0; i < serial.steps.size(); ++i) {
+    EXPECT_EQ(parallel.steps[i].latent_k, serial.steps[i].latent_k) << "step " << i;
+    EXPECT_EQ(parallel.steps[i].spec.num_layers, serial.steps[i].spec.num_layers);
+    EXPECT_EQ(parallel.steps[i].spec.hidden_units, serial.steps[i].spec.hidden_units);
+    EXPECT_EQ(parallel.steps[i].spec.act, serial.steps[i].spec.act);
+    EXPECT_EQ(parallel.steps[i].quality_error, serial.steps[i].quality_error);
+    EXPECT_EQ(parallel.steps[i].modeled_infer_seconds,
+              serial.steps[i].modeled_infer_seconds);
+  }
+  EXPECT_EQ(parallel.best.spec.num_layers, serial.best.spec.num_layers);
+  EXPECT_EQ(parallel.best.spec.hidden_units, serial.best.spec.hidden_units);
+  EXPECT_EQ(parallel.best.latent_k, serial.best.latent_k);
+  EXPECT_EQ(parallel.best.quality_error, serial.best.quality_error);
+  EXPECT_EQ(parallel.best.modeled_infer_seconds, serial.best.modeled_infer_seconds);
+  EXPECT_EQ(parallel.found_feasible, serial.found_feasible);
+}
+
+/// The memo cache must hand back the recorded result when the BO re-proposes
+/// a (K, theta) it has already trained: re-proposed specs show up as repeat
+/// steps with identical objectives.
+TEST(TwoDNas, MemoCacheReturnsIdenticalResultsForRepeatedSpecs) {
+  const SearchTask task = make_synthetic_task(16);
+  NasOptions opts;
+  opts.search_type = SearchType::FullInput;
+  opts.inner_iterations = 8;  // enough rounds that specs recur
+  const NasResult res = TwoDNas(opts).search(task);
+  for (std::size_t i = 0; i < res.steps.size(); ++i) {
+    for (std::size_t j = i + 1; j < res.steps.size(); ++j) {
+      const SearchStep& a = res.steps[i];
+      const SearchStep& b = res.steps[j];
+      const bool same_spec = a.spec.num_layers == b.spec.num_layers &&
+                             a.spec.hidden_units == b.spec.hidden_units &&
+                             a.spec.kind == b.spec.kind && a.spec.act == b.spec.act &&
+                             a.spec.channels == b.spec.channels &&
+                             a.spec.kernel == b.spec.kernel &&
+                             a.spec.pool == b.spec.pool &&
+                             a.spec.residual == b.spec.residual;
+      if (same_spec) {
+        EXPECT_EQ(a.quality_error, b.quality_error);
+        EXPECT_EQ(a.modeled_infer_seconds, b.modeled_infer_seconds);
+      }
+    }
+  }
+}
+
+TEST(GridSearch, ParallelMatchesSerialExactly) {
+  const SearchTask task = make_synthetic_task(12);
+  GridSearchOptions opts;
+  opts.layer_grid = {1, 2};
+  opts.unit_grid = {8, 16, 32};
+  const NasResult serial = GridSearch(opts).search(task);
+
+  runtime::ThreadPool pool(4);
+  opts.pool = &pool;
+  const NasResult parallel = GridSearch(opts).search(task);
+
+  ASSERT_EQ(parallel.steps.size(), serial.steps.size());
+  for (std::size_t i = 0; i < serial.steps.size(); ++i) {
+    EXPECT_EQ(parallel.steps[i].quality_error, serial.steps[i].quality_error);
+    EXPECT_EQ(parallel.steps[i].modeled_infer_seconds,
+              serial.steps[i].modeled_infer_seconds);
+  }
+  EXPECT_EQ(parallel.best.spec.num_layers, serial.best.spec.num_layers);
+  EXPECT_EQ(parallel.best.spec.hidden_units, serial.best.spec.hidden_units);
+  EXPECT_EQ(parallel.best.quality_error, serial.best.quality_error);
+}
+
+TEST(AutokerasLike, BatchedSearchMatchesUnpooledExactly) {
+  const SearchTask task = make_synthetic_task(16);
+  AutokerasOptions opts;
+  opts.iterations = 5;
+  opts.eval_batch = 2;
+  const NasResult serial = AutokerasLike(opts).search(task);
+
+  runtime::ThreadPool pool(2);
+  opts.pool = &pool;
+  const NasResult parallel = AutokerasLike(opts).search(task);
+
+  ASSERT_EQ(parallel.steps.size(), serial.steps.size());
+  for (std::size_t i = 0; i < serial.steps.size(); ++i) {
+    EXPECT_EQ(parallel.steps[i].spec.hidden_units, serial.steps[i].spec.hidden_units);
+    EXPECT_EQ(parallel.steps[i].quality_error, serial.steps[i].quality_error);
+  }
+  EXPECT_EQ(parallel.best.spec.hidden_units, serial.best.spec.hidden_units);
+  EXPECT_EQ(parallel.best.quality_error, serial.best.quality_error);
 }
 
 TEST(AutokerasLike, SearchesWithoutQualityConstraint) {

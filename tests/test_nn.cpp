@@ -53,6 +53,46 @@ TEST(Layers, DenseGradientCheck) {
   EXPECT_LT(max_gradient_error(net, x, y), 1e-5);
 }
 
+// DenseLayer::forward fuses the bias add into the GEMM epilogue; the result
+// must stay bitwise-identical to the unfused matmul + add_row_bias pair.
+TEST(Layers, DenseForwardMatchesUnfusedBitwise) {
+  Rng rng(21);
+  DenseLayer dense(37, 19, rng);
+  const Tensor x = Tensor::randn({5, 37}, rng);
+  const Tensor fused = dense.forward(x, false);
+
+  // An identically-seeded twin exposes the same weights; recompute the
+  // forward pass through the unfused public ops.
+  Rng rng2(21);
+  DenseLayer twin(37, 19, rng2);
+  const auto params = twin.params();
+  const Tensor& w = *params[0];
+  const Tensor& b = *params[1];
+  Tensor manual = ops::matmul(x, w);
+  ops::add_row_bias(manual, b);
+  ASSERT_EQ(fused.size(), manual.size());
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_EQ(fused[i], manual[i]) << "flat index " << i;
+  }
+}
+
+// gather_rows into a reused buffer must reproduce subset() exactly — the
+// training loop depends on the two being interchangeable.
+TEST(Train, GatherRowsMatchesSubset) {
+  Rng rng(22);
+  Dataset data;
+  data.x = Tensor::randn({12, 5}, rng);
+  data.y = Tensor::randn({12, 3}, rng);
+  const std::vector<std::size_t> rows{7, 0, 11, 3};
+  const Dataset expect = data.subset(rows);
+  Dataset buffer;
+  buffer.x = Tensor({rows.size(), 5});
+  buffer.y = Tensor({rows.size(), 3});
+  data.gather_rows(rows, buffer);
+  for (std::size_t i = 0; i < expect.x.size(); ++i) EXPECT_EQ(buffer.x[i], expect.x[i]);
+  for (std::size_t i = 0; i < expect.y.size(); ++i) EXPECT_EQ(buffer.y[i], expect.y[i]);
+}
+
 class ActivationGrad : public ::testing::TestWithParam<Activation> {};
 
 TEST_P(ActivationGrad, MlpGradientCheck) {

@@ -1,10 +1,22 @@
 // Tests for src/tensor: shape handling, element access, and the BLAS-like
-// kernels (including the transposed products used by backprop).
+// kernels (including the transposed products used by backprop). The blocked
+// GEMM battery at the bottom checks the fast kernels against the retained
+// naive references across rectangular/degenerate shapes, and pins down the
+// determinism contract (bitwise-equal results across thread counts, and
+// row-of-batch == 1-row product) that checkpointed training and batched
+// serving rely on.
 
 #include <gtest/gtest.h>
+#include <omp.h>
+
+#include <cstring>
+#include <vector>
 
 #include "common/flops.hpp"
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/reference.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ahn {
@@ -153,6 +165,164 @@ TEST(Ops, TransposeRoundTrip) {
   const Tensor a = Tensor::randn({3, 5}, rng);
   const Tensor att = ops::transpose(ops::transpose(a));
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], att[i]);
+}
+
+// ------------------------------------------------------------ blocked GEMM
+
+/// Restores the default kernel selection after each test in the battery.
+class GemmKernels : public ::testing::Test {
+ protected:
+  void TearDown() override { ops::set_gemm_impl(ops::GemmImpl::Fast); }
+
+  static void expect_close(const Tensor& got, const Tensor& want, double tol) {
+    ASSERT_EQ(got.size(), want.size());
+    double scale = 1.0;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      scale = std::max(scale, std::abs(want[i]));
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], tol * scale) << "at flat index " << i;
+    }
+  }
+};
+
+// Shapes chosen to straddle every tiling boundary: 1-row/1-col products,
+// sizes around the 4x8 microtile, the 64-row MC block, and (via k = 300)
+// the 256-deep KC panel split.
+TEST_F(GemmKernels, MatchesNaiveReferenceAcrossShapes) {
+  const std::size_t dims[] = {1, 3, 5, 17, 33, 65, 97};
+  Rng rng(11);
+  for (std::size_t m : dims) {
+    for (std::size_t n : dims) {
+      for (std::size_t k : {std::size_t{1}, std::size_t{7}, std::size_t{300}}) {
+        const Tensor a = Tensor::randn({m, k}, rng);
+        const Tensor b = Tensor::randn({k, n}, rng);
+        const Tensor bt = ops::ref::transpose(b);   // (n x k)
+        const Tensor at = ops::ref::transpose(a);   // (k x m)
+        ops::set_gemm_impl(ops::GemmImpl::Fast);
+        const Tensor c = ops::matmul(a, b);
+        const Tensor c_nt = ops::matmul_nt(a, bt);
+        const Tensor c_tn = ops::matmul_tn(at, b);
+        const Tensor want = ops::ref::matmul(a, b);
+        const double tol = 1e-13 * static_cast<double>(k);
+        expect_close(c, want, tol);
+        expect_close(c_nt, want, tol);
+        expect_close(c_tn, want, tol);
+        expect_close(ops::transpose(a), at, 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(GemmKernels, NaiveImplSelectable) {
+  Rng rng(12);
+  const Tensor a = Tensor::randn({9, 31}, rng);
+  const Tensor b = Tensor::randn({31, 6}, rng);
+  ops::set_gemm_impl(ops::GemmImpl::Naive);
+  EXPECT_EQ(ops::gemm_impl(), ops::GemmImpl::Naive);
+  const Tensor naive = ops::matmul(a, b);
+  const Tensor want = ops::ref::matmul(a, b);
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_EQ(naive[i], want[i]);
+}
+
+// The determinism contract: bitwise-identical output for any thread count.
+// Both GEMM paths (small and blocked) are covered — 40x48x24 stays on the
+// small path, 80x96x300 packs and splits KC panels.
+TEST_F(GemmKernels, BitwiseDeterministicAcrossThreadCounts) {
+  Rng rng(13);
+  struct Shape { std::size_t m, k, n; };
+  for (const auto& s : {Shape{40, 24, 48}, Shape{80, 300, 96}}) {
+    const Tensor a = Tensor::randn({s.m, s.k}, rng);
+    const Tensor b = Tensor::randn({s.k, s.n}, rng);
+    const Tensor bias = Tensor::randn({s.n}, rng);
+    const int saved = omp_get_max_threads();
+    std::vector<Tensor> outs;
+    for (int threads : {1, 2, 8}) {
+      omp_set_num_threads(threads);
+      outs.push_back(ops::matmul_epilogue(a, b, &bias, ops::EpilogueAct::Relu));
+    }
+    omp_set_num_threads(saved);
+    for (std::size_t i = 1; i < outs.size(); ++i) {
+      ASSERT_EQ(0, std::memcmp(outs[0].data(), outs[i].data(),
+                               outs[0].size() * sizeof(double)))
+          << "thread-count variant " << i << " differs for " << s.m << "x"
+          << s.k << "x" << s.n;
+    }
+  }
+}
+
+// Row i of a batched product must equal the same row computed alone — the
+// bitwise guarantee PR 1's batched serving runtime asserts. Exercises both
+// a small-path and a KC-split shape.
+TEST_F(GemmKernels, BatchRowEqualsSingleRowProduct) {
+  Rng rng(14);
+  for (std::size_t k : {std::size_t{24}, std::size_t{300}}) {
+    const std::size_t m = 7, n = 33;
+    const Tensor a = Tensor::randn({m, k}, rng);
+    const Tensor b = Tensor::randn({k, n}, rng);
+    const Tensor bias = Tensor::randn({n}, rng);
+    const Tensor batch = ops::matmul_epilogue(a, b, &bias, ops::EpilogueAct::Tanh);
+    for (std::size_t i = 0; i < m; ++i) {
+      Tensor row({1, k});
+      std::memcpy(row.data(), a.data() + i * k, k * sizeof(double));
+      const Tensor single = ops::matmul_epilogue(row, b, &bias,
+                                                 ops::EpilogueAct::Tanh);
+      ASSERT_EQ(0, std::memcmp(single.data(), batch.data() + i * n,
+                               n * sizeof(double)))
+          << "row " << i << " of batch differs from 1-row product (k=" << k << ")";
+    }
+  }
+}
+
+// Fused epilogue == unfused matmul + add_row_bias + pointwise activation,
+// bitwise (the epilogue applies after the identical accumulation).
+TEST_F(GemmKernels, FusedEpilogueBitwiseEqualsUnfused) {
+  Rng rng(15);
+  for (std::size_t k : {std::size_t{24}, std::size_t{300}}) {
+    const Tensor a = Tensor::randn({19, k}, rng);
+    const Tensor b = Tensor::randn({k, 41}, rng);
+    const Tensor bias = Tensor::randn({41}, rng);
+    for (auto act : {ops::EpilogueAct::None, ops::EpilogueAct::Relu,
+                     ops::EpilogueAct::Tanh, ops::EpilogueAct::Sigmoid,
+                     ops::EpilogueAct::LeakyRelu}) {
+      const Tensor fused = ops::matmul_epilogue(a, b, &bias, act);
+      Tensor unfused = ops::matmul(a, b);
+      ops::add_row_bias(unfused, bias);
+      for (double& v : unfused.flat()) v = ops::epilogue_apply(act, v);
+      ASSERT_EQ(0, std::memcmp(fused.data(), unfused.data(),
+                               fused.size() * sizeof(double)));
+    }
+  }
+}
+
+TEST_F(GemmKernels, DegenerateAndBiaslessShapes) {
+  Rng rng(16);
+  // k == 0: product is all zeros; epilogue still applies.
+  const Tensor a0({3, 0});
+  const Tensor b0({0, 4});
+  const Tensor bias = Tensor::randn({4}, rng);
+  const Tensor c0 = ops::matmul_epilogue(a0, b0, &bias, ops::EpilogueAct::None);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(c0.at(0, j), bias[j]);
+    EXPECT_EQ(c0.at(2, j), bias[j]);
+  }
+  // No bias, no activation: plain product.
+  const Tensor a = Tensor::randn({2, 5}, rng);
+  const Tensor b = Tensor::randn({5, 3}, rng);
+  const Tensor c = ops::matmul_epilogue(a, b, nullptr);
+  const Tensor want = ops::ref::matmul(a, b);
+  for (std::size_t i = 0; i < want.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-12);
+}
+
+TEST_F(GemmKernels, EpilogueCountsBiasAndActivationFlops) {
+  Rng rng(17);
+  const Tensor a = Tensor::randn({4, 5}, rng);
+  const Tensor b = Tensor::randn({5, 6}, rng);
+  const Tensor bias = Tensor::randn({6}, rng);
+  FlopRegion region;
+  (void)ops::matmul_epilogue(a, b, &bias, ops::EpilogueAct::Relu);
+  // gemm 2mnk + bias mn + activation mn
+  EXPECT_EQ(region.delta().flops, 2u * 4 * 5 * 6 + 4 * 6 + 4 * 6);
 }
 
 }  // namespace
