@@ -13,6 +13,7 @@
 // clients), and throughput must stay within 2x of the fault-free run.
 // Exits non-zero otherwise, so CI can gate on graceful degradation.
 
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "nn/topology.hpp"
+#include "obs/export.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/orchestrator.hpp"
 
@@ -153,6 +155,27 @@ int main() {
             << "\nQoI fallbacks:     " << snap.qoi_fallbacks
             << "\nthroughput ratio:  " << TextTable::num(slowdown, 2)
             << "x slower under faults (limit 2x)\n";
+
+  // Machine-readable result for the faulty run: the fault/retry/QoI counters
+  // in the JSON come from the same registry instruments the snapshot above
+  // read, so the two can be cross-checked.
+  {
+    std::ofstream json("BENCH_fault_recovery.json");
+    json << "{\n"
+         << "  \"bench\": \"fault_recovery\",\n"
+         << "  \"requests\": " << total << ",\n"
+         << "  \"completed_under_faults\": " << faulty.completed << ",\n"
+         << "  \"faults_injected\": " << snap.faults_injected << ",\n"
+         << "  \"retries\": " << snap.retries << ",\n"
+         << "  \"qoi_fallbacks\": " << snap.qoi_fallbacks << ",\n"
+         << "  \"slowdown\": " << TextTable::num(slowdown, 3) << ",\n"
+         << "  \"metrics\": ";
+    obs::ExportOptions eo;
+    eo.base_indent = 2;
+    obs::export_json(json, orc.stats().metrics(), &orc.tracer(), eo);
+    json << "\n}\n";
+  }
+  std::cout << "wrote BENCH_fault_recovery.json\n";
 
   const bool all_complete = clean.failed == 0 && faulty.failed == 0 &&
                             faulty.completed == total;

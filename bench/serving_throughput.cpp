@@ -15,6 +15,7 @@
 // identity check fails, so CI can gate on it.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -23,6 +24,7 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "nn/topology.hpp"
+#include "obs/export.hpp"
 #include "runtime/orchestrator.hpp"
 
 namespace {
@@ -150,6 +152,28 @@ int main() {
             << " (mean batch " << TextTable::num(snap.mean_batch_size(), 1) << ")\n"
             << "bitwise-identical rows:  " << (total - mismatches) << "/" << total
             << "\n";
+
+  // Machine-readable result + the full observability state of run B: the
+  // registry the ServingStats counters/histograms live in, plus span
+  // aggregates from the tracer. CI smoke-gates this file for well-formedness
+  // and for counter/snapshot agreement.
+  {
+    std::ofstream json("BENCH_serving.json");
+    json << "{\n"
+         << "  \"bench\": \"serving_throughput\",\n"
+         << "  \"requests\": " << total << ",\n"
+         << "  \"sync_rps\": " << TextTable::num(sync_rps, 1) << ",\n"
+         << "  \"batched_rps\": " << TextTable::num(conc_rps, 1) << ",\n"
+         << "  \"speedup\": " << TextTable::num(speedup, 3) << ",\n"
+         << "  \"mean_batch\": " << TextTable::num(snap.mean_batch_size(), 2) << ",\n"
+         << "  \"bitwise_identical\": " << (mismatches == 0 ? "true" : "false") << ",\n"
+         << "  \"metrics\": ";
+    obs::ExportOptions eo;
+    eo.base_indent = 2;
+    obs::export_json(json, orc.stats().metrics(), &orc.tracer(), eo);
+    json << "\n}\n";
+  }
+  std::cout << "wrote BENCH_serving.json\n";
 
   const bool ok = speedup >= 4.0 && mismatches == 0;
   std::cout << (ok ? "PASS" : "FAIL") << "\n";

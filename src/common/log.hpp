@@ -1,8 +1,21 @@
 #pragma once
-// Minimal leveled logger. Benches and the pipeline narrate progress at Info;
-// tests run quiet by default (level set via AHN_LOG_LEVEL env or set_level).
+// Structured leveled logger. Every line carries an ISO-8601 UTC timestamp,
+// the level, a component tag, and — when the obs layer is active — the
+// current trace id, so serving-path log lines can be joined against span
+// records (docs/OBSERVABILITY.md). Benches and the pipeline narrate
+// progress at Info; tests run quiet by default (level set via the
+// AHN_LOG_LEVEL env var or set_level).
+//
+// Thread-safety: the level lives in a std::atomic<int> (set_level from one
+// thread while others write is race-free), the sink is serialized by a
+// mutex, and the trace-id provider is an atomic function pointer.
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <mutex>
 #include <sstream>
@@ -14,21 +27,68 @@ enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, ErrorLevel = 3, Off =
 
 class Log {
  public:
-  static LogLevel& level() noexcept {
-    static LogLevel lvl = init_level();
-    return lvl;
+  /// Returns the current trace id for the calling thread (0 = none). The
+  /// obs tracing layer installs its thread-local span lookup here.
+  using TraceIdFn = std::uint64_t (*)();
+
+  [[nodiscard]] static LogLevel level() noexcept {
+    return static_cast<LogLevel>(level_store().load(std::memory_order_relaxed));
   }
 
-  static void set_level(LogLevel lvl) noexcept { level() = lvl; }
+  static void set_level(LogLevel lvl) noexcept {
+    level_store().store(static_cast<int>(lvl), std::memory_order_relaxed);
+  }
 
-  static void write(LogLevel lvl, const std::string& msg) {
+  static void set_trace_provider(TraceIdFn fn) noexcept {
+    trace_provider().store(fn, std::memory_order_relaxed);
+  }
+
+  static void write(LogLevel lvl, const std::string& msg) { write(lvl, "ahn", msg); }
+
+  static void write(LogLevel lvl, const char* component, const std::string& msg) {
     if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+    // Format outside the sink lock; only the final emit is serialized.
+    std::ostringstream line;
+    append_timestamp(line);
+    line << " [" << name(lvl) << "] " << component;
+    if (const TraceIdFn fn = trace_provider().load(std::memory_order_relaxed)) {
+      if (const std::uint64_t trace = fn(); trace != 0) {
+        line << " trace=" << trace;
+      }
+    }
+    line << " " << msg << "\n";
     static std::mutex mu;
     const std::lock_guard<std::mutex> lock(mu);
-    std::cerr << "[" << name(lvl) << "] " << msg << "\n";
+    std::cerr << line.str();
   }
 
  private:
+  static std::atomic<int>& level_store() noexcept {
+    static std::atomic<int> lvl{static_cast<int>(init_level())};
+    return lvl;
+  }
+
+  static std::atomic<TraceIdFn>& trace_provider() noexcept {
+    static std::atomic<TraceIdFn> fn{nullptr};
+    return fn;
+  }
+
+  static void append_timestamp(std::ostream& os) {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                  tm.tm_min, tm.tm_sec, static_cast<int>(ms));
+    os << buf;
+  }
+
   static LogLevel init_level() noexcept {
     if (const char* env = std::getenv("AHN_LOG_LEVEL")) {
       const std::string s(env);
@@ -52,15 +112,24 @@ class Log {
   }
 };
 
-#define AHN_LOG(lvl, expr)                                   \
+#define AHN_LOG_C(lvl, component, expr)                      \
   do {                                                       \
-    std::ostringstream os_;                                  \
-    os_ << expr;                                             \
-    ::ahn::Log::write(lvl, os_.str());                       \
+    if (static_cast<int>(lvl) >=                             \
+        static_cast<int>(::ahn::Log::level())) {             \
+      std::ostringstream os_;                                \
+      os_ << expr;                                           \
+      ::ahn::Log::write(lvl, component, os_.str());          \
+    }                                                        \
   } while (0)
+
+#define AHN_LOG(lvl, expr) AHN_LOG_C(lvl, "ahn", expr)
 
 #define AHN_INFO(expr) AHN_LOG(::ahn::LogLevel::Info, expr)
 #define AHN_DEBUG(expr) AHN_LOG(::ahn::LogLevel::Debug, expr)
 #define AHN_WARN(expr) AHN_LOG(::ahn::LogLevel::Warn, expr)
+
+#define AHN_INFO_C(component, expr) AHN_LOG_C(::ahn::LogLevel::Info, component, expr)
+#define AHN_DEBUG_C(component, expr) AHN_LOG_C(::ahn::LogLevel::Debug, component, expr)
+#define AHN_WARN_C(component, expr) AHN_LOG_C(::ahn::LogLevel::Warn, component, expr)
 
 }  // namespace ahn

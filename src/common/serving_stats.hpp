@@ -6,7 +6,15 @@
 // reliability-layer counters (injected faults, retries, deadline misses,
 // shutdown rejections, circuit-breaker fallbacks and state transitions —
 // docs/RELIABILITY.md).
+//
+// Built on the obs metrics registry (docs/OBSERVABILITY.md): scalar tallies
+// are lock-free obs::Counters and per-phase latencies land in fixed-bucket
+// obs::LatencyHistograms, so memory stays constant under sustained serving
+// and a percentile read never stalls a recording thread. The raw per-phase
+// sample vectors of the original implementation survive only behind the
+// opt-in set_exact_samples(true) debug mode.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace ahn {
 
@@ -51,104 +60,120 @@ struct ServingStatsSnapshot {
 };
 
 /// Serving-side metrics collector. Every member is safe to call from any
-/// client, pool, or flusher thread; readers take the same mutex as writers,
-/// so snapshots are consistent (no torn counters).
+/// client, pool, or flusher thread. Recording is lock-free for the hot path
+/// (request counters + latency histograms); only the keyed maps (fault
+/// kinds, breaker transitions, batch sizes) and the optional exact-sample
+/// vectors take a mutex. Each counter/histogram read is untorn, but a
+/// snapshot taken while recorders run may straddle concurrent updates by a
+/// request or two — the price of never blocking the serving path.
 class ServingStats {
  public:
+  ServingStats()
+      : requests_(registry_.counter("serving.requests_served")),
+        batches_(registry_.counter("serving.batches_executed")),
+        fallbacks_(registry_.counter("serving.qoi_fallbacks")),
+        faults_(registry_.counter("serving.faults_injected")),
+        retries_(registry_.counter("serving.retries")),
+        deadline_misses_(registry_.counter("serving.deadline_misses")),
+        shutdown_rejections_(registry_.counter("serving.shutdown_rejections")),
+        breaker_fallbacks_(registry_.counter("serving.breaker_fallbacks")),
+        fetch_hist_(registry_.histogram("serving.latency.fetch")),
+        encode_hist_(registry_.histogram("serving.latency.encode")),
+        load_hist_(registry_.histogram("serving.latency.load")),
+        run_hist_(registry_.histogram("serving.latency.run")),
+        total_hist_(registry_.histogram("serving.latency.total")) {}
+
+  ServingStats(const ServingStats&) = delete;
+  ServingStats& operator=(const ServingStats&) = delete;
+
+  /// The registry every tally and histogram lives in, for obs::export_json
+  /// and for merging into a process-wide view.
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return registry_;
+  }
+
+  /// Debug mode: additionally keep every raw per-phase sample (unbounded
+  /// memory!) so latency_percentile is exact instead of bucket-resolution.
+  /// Off by default; intended for tests and short diagnostic runs.
+  void set_exact_samples(bool on) {
+    exact_samples_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool exact_samples() const noexcept {
+    return exact_samples_.load(std::memory_order_relaxed);
+  }
+
   /// Records one served request and its per-phase modeled latency.
   void record_request(const RequestPhases& phases) {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++requests_;
-    fetch_.push_back(phases.fetch);
-    encode_.push_back(phases.encode);
-    load_.push_back(phases.load);
-    run_.push_back(phases.run);
-    total_.push_back(phases.total());
+    requests_.increment();
+    fetch_hist_.record(phases.fetch);
+    encode_hist_.record(phases.encode);
+    load_hist_.record(phases.load);
+    run_hist_.record(phases.run);
+    total_hist_.record(phases.total());
+    if (exact_samples()) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      fetch_.push_back(phases.fetch);
+      encode_.push_back(phases.encode);
+      load_.push_back(phases.load);
+      run_.push_back(phases.run);
+      total_.push_back(phases.total());
+    }
   }
 
   /// Records one executed batch of `size` coalesced requests (size >= 1).
   void record_batch(std::size_t size) {
+    batches_.increment();
     const std::lock_guard<std::mutex> lock(mu_);
-    ++batches_;
     ++histogram_[size];
   }
 
   /// Records a §7.1 QoI miss that re-ran the original code region.
-  void record_qoi_fallback() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++fallbacks_;
-  }
+  void record_qoi_fallback() { fallbacks_.increment(); }
 
   /// Records one injected fault of `kind` ("latency_spike", "transient",
   /// "nan_corruption", "batch_drop").
   void record_fault_injected(const std::string& kind) {
+    faults_.increment();
+    registry_.counter("serving.fault." + kind).increment();
     const std::lock_guard<std::mutex> lock(mu_);
-    ++faults_;
     ++fault_kinds_[kind];
   }
 
   /// Records one retry attempt after a transient fault.
-  void record_retry() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++retries_;
-  }
+  void record_retry() { retries_.increment(); }
 
   /// Records one request that expired (kDeadlineExceeded) before being served.
-  void record_deadline_miss() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++deadline_misses_;
-  }
+  void record_deadline_miss() { deadline_misses_.increment(); }
 
   /// Records one request refused with kShuttingDown.
-  void record_shutdown_rejection() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++shutdown_rejections_;
-  }
+  void record_shutdown_rejection() { shutdown_rejections_.increment(); }
 
   /// Records one request the QoI circuit breaker routed straight to the
   /// original-code path (open or exhausted half-open state).
-  void record_breaker_fallback() {
-    const std::lock_guard<std::mutex> lock(mu_);
-    ++breaker_fallbacks_;
-  }
+  void record_breaker_fallback() { breaker_fallbacks_.increment(); }
 
   /// Records one breaker state transition, keyed "from->to".
   void record_breaker_transition(const std::string& from, const std::string& to) {
+    const std::string key = from + "->" + to;
+    registry_.counter("serving.breaker_transition." + key).increment();
     const std::lock_guard<std::mutex> lock(mu_);
-    ++breaker_transitions_[from + "->" + to];
+    ++breaker_transitions_[key];
   }
 
-  [[nodiscard]] std::uint64_t requests_served() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return requests_;
-  }
-  [[nodiscard]] std::uint64_t batches_executed() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return batches_;
-  }
-  [[nodiscard]] std::uint64_t qoi_fallbacks() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return fallbacks_;
-  }
-  [[nodiscard]] std::uint64_t faults_injected() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return faults_;
-  }
-  [[nodiscard]] std::uint64_t retries() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return retries_;
-  }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_.value(); }
+  [[nodiscard]] std::uint64_t batches_executed() const { return batches_.value(); }
+  [[nodiscard]] std::uint64_t qoi_fallbacks() const { return fallbacks_.value(); }
+  [[nodiscard]] std::uint64_t faults_injected() const { return faults_.value(); }
+  [[nodiscard]] std::uint64_t retries() const { return retries_.value(); }
   [[nodiscard]] std::uint64_t deadline_misses() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return deadline_misses_;
+    return deadline_misses_.value();
   }
   [[nodiscard]] std::uint64_t shutdown_rejections() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return shutdown_rejections_;
+    return shutdown_rejections_.value();
   }
   [[nodiscard]] std::uint64_t breaker_fallbacks() const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return breaker_fallbacks_;
+    return breaker_fallbacks_.value();
   }
   /// Count of `from`->`to` breaker transitions recorded so far.
   [[nodiscard]] std::uint64_t breaker_transitions(const std::string& from,
@@ -160,25 +185,45 @@ class ServingStats {
 
   /// Latency percentile (p in [0, 100]) for one phase: "fetch", "encode",
   /// "load", "run" or "total". Returns 0 when no requests were recorded.
+  /// Reads the fixed-bucket histogram (bucket-resolution, lock-free with
+  /// respect to recorders); in exact-samples debug mode it copies the raw
+  /// samples out under the lock and sorts the copy outside it, so even the
+  /// exact path never holds the collector mutex through an O(n log n) sort.
   [[nodiscard]] double latency_percentile(const std::string& phase, double p) const {
-    const std::lock_guard<std::mutex> lock(mu_);
-    const std::vector<double>* samples = phase_samples(phase);
-    AHN_CHECK_MSG(samples != nullptr, "unknown serving phase '" << phase << "'");
-    if (samples->empty()) return 0.0;
-    return percentile(*samples, p);  // copies; sorting must not mutate state
+    if (exact_samples()) {
+      std::vector<double> samples;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        const std::vector<double>* exact = exact_phase_samples(phase);
+        AHN_CHECK_MSG(exact != nullptr, "unknown serving phase '" << phase << "'");
+        samples = *exact;  // copy out; sort happens outside the lock
+      }
+      return samples.empty() ? 0.0 : percentile(std::move(samples), p);
+    }
+    const obs::LatencyHistogram* hist = phase_histogram(phase);
+    AHN_CHECK_MSG(hist != nullptr, "unknown serving phase '" << phase << "'");
+    return hist->percentile(p);
+  }
+
+  /// The live histogram behind one phase (see latency_percentile for names).
+  [[nodiscard]] const obs::LatencyHistogram& latency_histogram(
+      const std::string& phase) const {
+    const obs::LatencyHistogram* hist = phase_histogram(phase);
+    AHN_CHECK_MSG(hist != nullptr, "unknown serving phase '" << phase << "'");
+    return *hist;
   }
 
   [[nodiscard]] ServingStatsSnapshot snapshot() const {
-    const std::lock_guard<std::mutex> lock(mu_);
     ServingStatsSnapshot s;
-    s.requests_served = requests_;
-    s.batches_executed = batches_;
-    s.qoi_fallbacks = fallbacks_;
-    s.faults_injected = faults_;
-    s.retries = retries_;
-    s.deadline_misses = deadline_misses_;
-    s.shutdown_rejections = shutdown_rejections_;
-    s.breaker_fallbacks = breaker_fallbacks_;
+    s.requests_served = requests_.value();
+    s.batches_executed = batches_.value();
+    s.qoi_fallbacks = fallbacks_.value();
+    s.faults_injected = faults_.value();
+    s.retries = retries_.value();
+    s.deadline_misses = deadline_misses_.value();
+    s.shutdown_rejections = shutdown_rejections_.value();
+    s.breaker_fallbacks = breaker_fallbacks_.value();
+    const std::lock_guard<std::mutex> lock(mu_);
     s.fault_kinds = fault_kinds_;
     s.breaker_transitions = breaker_transitions_;
     s.batch_histogram = histogram_;
@@ -186,10 +231,8 @@ class ServingStats {
   }
 
   void reset() {
+    registry_.reset();
     const std::lock_guard<std::mutex> lock(mu_);
-    requests_ = batches_ = fallbacks_ = 0;
-    faults_ = retries_ = deadline_misses_ = shutdown_rejections_ = 0;
-    breaker_fallbacks_ = 0;
     fault_kinds_.clear();
     breaker_transitions_.clear();
     histogram_.clear();
@@ -201,7 +244,18 @@ class ServingStats {
   }
 
  private:
-  [[nodiscard]] const std::vector<double>* phase_samples(const std::string& phase) const {
+  [[nodiscard]] const obs::LatencyHistogram* phase_histogram(
+      const std::string& phase) const {
+    if (phase == "fetch") return &fetch_hist_;
+    if (phase == "encode") return &encode_hist_;
+    if (phase == "load") return &load_hist_;
+    if (phase == "run") return &run_hist_;
+    if (phase == "total") return &total_hist_;
+    return nullptr;
+  }
+
+  [[nodiscard]] const std::vector<double>* exact_phase_samples(
+      const std::string& phase) const {
     if (phase == "fetch") return &fetch_;
     if (phase == "encode") return &encode_;
     if (phase == "load") return &load_;
@@ -210,19 +264,28 @@ class ServingStats {
     return nullptr;
   }
 
+  obs::MetricsRegistry registry_;
+  obs::Counter& requests_;
+  obs::Counter& batches_;
+  obs::Counter& fallbacks_;
+  obs::Counter& faults_;
+  obs::Counter& retries_;
+  obs::Counter& deadline_misses_;
+  obs::Counter& shutdown_rejections_;
+  obs::Counter& breaker_fallbacks_;
+  obs::LatencyHistogram& fetch_hist_;
+  obs::LatencyHistogram& encode_hist_;
+  obs::LatencyHistogram& load_hist_;
+  obs::LatencyHistogram& run_hist_;
+  obs::LatencyHistogram& total_hist_;
+
+  std::atomic<bool> exact_samples_{false};
+
   mutable std::mutex mu_;
-  std::uint64_t requests_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t fallbacks_ = 0;
-  std::uint64_t faults_ = 0;
-  std::uint64_t retries_ = 0;
-  std::uint64_t deadline_misses_ = 0;
-  std::uint64_t shutdown_rejections_ = 0;
-  std::uint64_t breaker_fallbacks_ = 0;
   std::map<std::string, std::uint64_t> fault_kinds_;
   std::map<std::string, std::uint64_t> breaker_transitions_;
   std::map<std::size_t, std::uint64_t> histogram_;
-  std::vector<double> fetch_, encode_, load_, run_, total_;
+  std::vector<double> fetch_, encode_, load_, run_, total_;  ///< exact mode only
 };
 
 }  // namespace ahn

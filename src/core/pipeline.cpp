@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ahn::core {
@@ -85,9 +86,18 @@ PipelineResult AutoHPCnet::run(apps::Application& app) const {
   PipelineResult result;
   result.eval_problems.assign(eval_ids.begin(), eval_ids.end());
 
+  // One trace per pipeline run: the phase spans below all nest under it, so
+  // an exported trace shows sample-gen / search / retrain as siblings.
+  obs::Tracer& tracer = obs::Tracer::global();
+  const obs::Span pipeline_span(tracer, "offline.pipeline");
+
   // Phase 1: data acquisition (§3) — the trace-generation analogue.
   const Timer acq_timer;
-  nn::Dataset data = acquire_samples(app, train_ids);
+  nn::Dataset data;
+  {
+    const obs::Span span(tracer, "offline.sample_generation");
+    data = acquire_samples(app, train_ids);
+  }
   result.offline.sample_generation_seconds = acq_timer.seconds();
 
   // Phase 2: hierarchical BO with the customized autoencoder (§4, §5).
@@ -100,7 +110,10 @@ PipelineResult AutoHPCnet::run(apps::Application& app) const {
     nas_opts.pool = search_pool.get();
   }
   const nas::TwoDNas searcher(nas_opts);
-  result.search = searcher.search(task);
+  {
+    const obs::Span span(tracer, "offline.search");
+    result.search = searcher.search(task);
+  }
   result.offline.search_seconds = result.search.search_seconds;
   result.offline.autoencoder_seconds = result.search.autoencoder_train_seconds;
   result.model = result.search.best;
@@ -109,6 +122,7 @@ PipelineResult AutoHPCnet::run(apps::Application& app) const {
   // the winning (K, theta) one long final training run before deployment.
   if (config_.retrain_epochs > config_.num_epoch &&
       result.model.surrogate.net.layer_count() > 0) {
+    const obs::Span span(tracer, "offline.retrain");
     const Timer retrain_timer;
     task.train.epochs = config_.retrain_epochs;
     task.train.patience = 30;
@@ -130,7 +144,7 @@ PipelineResult AutoHPCnet::run(apps::Application& app) const {
     }
     result.offline.search_seconds += retrain_timer.seconds();
   }
-  AHN_INFO(app.name() << ": search done, feasible=" << result.search.found_feasible
+  AHN_INFO_C("pipeline", app.name() << ": search done, feasible=" << result.search.found_feasible
                       << " f_e=" << result.model.quality_error
                       << " K=" << result.model.latent_k << " spec="
                       << result.model.spec.describe());

@@ -9,6 +9,7 @@
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace ahn::nas {
@@ -87,6 +88,7 @@ TwoDNas::InnerOutcome TwoDNas::inner_search(
     std::size_t outer_iter, Rng& rng, EvalMemo& memo,
     std::size_t iterations) const {
   if (iterations == 0) iterations = options_.inner_iterations;
+  const obs::Span search_span(obs::Tracer::global(), "nas.inner_search");
   gp::BoOptions bo_opts;
   bo_opts.dim = nn::TopologySpace::encoded_dim();
   bo_opts.constraint_threshold = task.quality_bound;
@@ -293,9 +295,10 @@ NasResult TwoDNas::search_from(const SearchTask& task,
   std::size_t stale = 0;
 
   for (std::size_t outer_iter = 0; outer_iter < options_.outer_iterations; ++outer_iter) {
+    const obs::Span outer_span(obs::Tracer::global(), "nas.outer_iteration");
     const std::vector<double> xk = outer.propose();
     const std::size_t k = decode_k(xk[0], k_min, k_max);
-    AHN_INFO("2D-NAS outer " << outer_iter << ": K = " << k);
+    AHN_INFO_C("nas", "2D-NAS outer " << outer_iter << ": K = " << k);
 
     // Train this iteration's autoencoder (§4.3: one fresh autoencoder per
     // outer-loop iteration, sparse path when available).
@@ -306,9 +309,12 @@ NasResult TwoDNas::search_from(const SearchTask& task,
     acfg.encoding_loss_bound = task.encoding_loss_bound;
     acfg.seed = rng.next_u64();
     auto ae = std::make_shared<autoencoder::Autoencoder>(in_width, acfg);
-    const autoencoder::AutoencoderReport ae_rep =
-        task.sparse_x != nullptr ? ae->train_sparse(*task.sparse_x)
-                                 : ae->train(task.data.x);
+    autoencoder::AutoencoderReport ae_rep;
+    {
+      const obs::Span ae_span(obs::Tracer::global(), "nas.autoencoder_train");
+      ae_rep = task.sparse_x != nullptr ? ae->train_sparse(*task.sparse_x)
+                                        : ae->train(task.data.x);
+    }
     result.autoencoder_train_seconds += ae_timer.seconds();
 
     // Encoder-model inference: reduce the training features once.

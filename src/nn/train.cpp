@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/trace.hpp"
 #include "tensor/ops.hpp"
 
 namespace ahn::nn {
@@ -122,6 +123,7 @@ Tensor TrainedSurrogate::predict_rows(std::span<const Tensor> rows) const {
 TrainedSurrogate train_surrogate(Network net, const Dataset& data,
                                  const TrainOptions& opts) {
   AHN_CHECK(data.size() >= 2);
+  const obs::Span span(obs::Tracer::global(), "nn.train_surrogate");
   Rng rng(opts.seed);
   auto [train, val] = data.split(opts.train_ratio, rng);
 

@@ -1,0 +1,214 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace ahn::obs {
+
+namespace {
+
+/// JSON has no Inf/NaN; empty-histogram min/max and any stray non-finite
+/// aggregate are exported as 0.
+void write_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+class Writer {
+ public:
+  Writer(std::ostream& os, const ExportOptions& opts) : os_(os), opts_(opts) {}
+
+  void open(char bracket) {
+    os_ << bracket;
+    ++depth_;
+    first_ = true;
+  }
+
+  void close(char bracket) {
+    --depth_;
+    if (!first_) newline();
+    os_ << bracket;
+    first_ = false;
+  }
+
+  /// Starts the next element (comma + newline + indent).
+  void item() {
+    if (!first_) os_ << ",";
+    first_ = false;
+    newline();
+  }
+
+  void key(const std::string& k) {
+    item();
+    os_ << '"' << json_escape(k) << "\": ";
+  }
+
+  std::ostream& os() { return os_; }
+
+ private:
+  void newline() {
+    os_ << "\n";
+    const int spaces = opts_.base_indent + depth_ * opts_.indent;
+    for (int i = 0; i < spaces; ++i) os_ << ' ';
+  }
+
+  std::ostream& os_;
+  const ExportOptions& opts_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+void write_histogram(Writer& w, const HistogramSnapshot& h) {
+  w.open('{');
+  w.key("count");
+  w.os() << h.count;
+  w.key("sum");
+  write_number(w.os(), h.sum);
+  w.key("mean");
+  write_number(w.os(), h.mean());
+  w.key("min");
+  write_number(w.os(), h.count > 0 ? h.min : 0.0);
+  w.key("max");
+  write_number(w.os(), h.count > 0 ? h.max : 0.0);
+  w.key("p50");
+  write_number(w.os(), h.percentile(50.0));
+  w.key("p95");
+  write_number(w.os(), h.percentile(95.0));
+  w.key("p99");
+  write_number(w.os(), h.percentile(99.0));
+  w.key("buckets");
+  w.open('[');
+  for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    w.item();
+    w.os() << "{\"le\": ";
+    write_number(w.os(), LatencyHistogram::lower_bound(i + 1));
+    w.os() << ", \"count\": " << h.buckets[i] << "}";
+  }
+  w.close(']');
+  w.close('}');
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void export_json(std::ostream& os, const RegistrySnapshot& registry,
+                 const Tracer* tracer, const ExportOptions& opts) {
+  Writer w(os, opts);
+  w.open('{');
+
+  w.key("counters");
+  w.open('{');
+  for (const auto& [name, v] : registry.counters) {
+    w.key(name);
+    w.os() << v;
+  }
+  w.close('}');
+
+  w.key("gauges");
+  w.open('{');
+  for (const auto& [name, v] : registry.gauges) {
+    w.key(name);
+    write_number(w.os(), v);
+  }
+  w.close('}');
+
+  w.key("histograms");
+  w.open('{');
+  for (const auto& [name, h] : registry.histograms) {
+    w.key(name);
+    write_histogram(w, h);
+  }
+  w.close('}');
+
+  if (tracer != nullptr) {
+    const TracerSnapshot spans = tracer->snapshot();
+    w.key("spans");
+    w.open('{');
+    for (const auto& [name, agg] : spans.aggregates) {
+      w.key(name);
+      w.open('{');
+      w.key("count");
+      w.os() << agg.count;
+      w.key("total_seconds");
+      write_number(w.os(), agg.total_seconds);
+      w.key("mean_seconds");
+      write_number(w.os(), agg.mean_seconds());
+      w.key("min_seconds");
+      write_number(w.os(), agg.min_seconds);
+      w.key("max_seconds");
+      write_number(w.os(), agg.max_seconds);
+      w.close('}');
+    }
+    w.close('}');
+
+    w.key("recent_spans");
+    w.open('[');
+    const std::size_t n = spans.recent.size();
+    const std::size_t from = n > opts.max_recent_spans ? n - opts.max_recent_spans : 0;
+    for (std::size_t i = from; i < n; ++i) {
+      const SpanRecord& r = spans.recent[i];
+      w.item();
+      w.os() << "{\"name\": \"" << json_escape(r.name) << "\", \"trace\": " << r.trace_id
+             << ", \"span\": " << r.span_id << ", \"parent\": " << r.parent_span_id
+             << ", \"start\": ";
+      write_number(w.os(), r.start_seconds);
+      w.os() << ", \"duration\": ";
+      write_number(w.os(), r.duration_seconds);
+      w.os() << "}";
+    }
+    w.close(']');
+  }
+
+  w.close('}');
+}
+
+void export_json(std::ostream& os, const MetricsRegistry& registry,
+                 const Tracer* tracer, const ExportOptions& opts) {
+  export_json(os, registry.snapshot(), tracer, opts);
+}
+
+std::string export_json_string(const MetricsRegistry& registry, const Tracer* tracer,
+                               const ExportOptions& opts) {
+  std::ostringstream os;
+  export_json(os, registry, tracer, opts);
+  return os.str();
+}
+
+bool export_json_file(const std::string& path, const MetricsRegistry& registry,
+                      const Tracer* tracer, const ExportOptions& opts) {
+  std::ofstream os(path);
+  if (!os) return false;
+  export_json(os, registry, tracer, opts);
+  os << "\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace ahn::obs

@@ -1,0 +1,45 @@
+#pragma once
+// Structured JSON export of the observability state (docs/OBSERVABILITY.md):
+// registry counters/gauges, histogram summaries with p50/p95/p99 and the
+// non-empty buckets, and tracer span aggregates plus the most recent span
+// records. The benches embed this as the "metrics" section of their
+// BENCH_*.json files; CI smoke-gates the result for well-formedness.
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ahn::obs {
+
+struct ExportOptions {
+  int indent = 2;                    ///< spaces per nesting level
+  int base_indent = 0;               ///< outer indentation (for embedding)
+  std::size_t max_recent_spans = 32; ///< newest span records to include
+};
+
+/// Writes one JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {...}, "spans": {...}, "recent_spans": [...]}. The span
+/// sections are omitted when `tracer` is null. No trailing newline, so the
+/// object can be embedded as a value inside a larger document.
+void export_json(std::ostream& os, const RegistrySnapshot& registry,
+                 const Tracer* tracer = nullptr, const ExportOptions& opts = {});
+
+/// Convenience overload snapshotting the live registry.
+void export_json(std::ostream& os, const MetricsRegistry& registry,
+                 const Tracer* tracer = nullptr, const ExportOptions& opts = {});
+
+[[nodiscard]] std::string export_json_string(const MetricsRegistry& registry,
+                                             const Tracer* tracer = nullptr,
+                                             const ExportOptions& opts = {});
+
+/// Writes a standalone document (object + newline) to `path`; returns false
+/// (without throwing) when the file cannot be opened.
+bool export_json_file(const std::string& path, const MetricsRegistry& registry,
+                      const Tracer* tracer = nullptr, const ExportOptions& opts = {});
+
+/// Escapes `s` for use inside a JSON string literal (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace ahn::obs

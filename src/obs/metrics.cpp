@@ -1,0 +1,172 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ahn::obs {
+
+namespace {
+
+/// log10 span of the histogram range, shared by index and bound math.
+const double kLogMin = std::log10(LatencyHistogram::kMinValue);
+const double kLogSpan = std::log10(LatencyHistogram::kMaxValue) - kLogMin;
+
+/// Lock-free min/max/sum folding on atomic doubles (relaxed CAS loops; the
+/// aggregates are advisory statistics, not synchronization points).
+void atomic_add(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+double HistogramSnapshot::percentile(double p) const {
+  AHN_CHECK(p >= 0.0 && p <= 100.0);
+  if (count == 0) return 0.0;
+  if (p <= 0.0) return min;    // the extremes are tracked exactly,
+  if (p >= 100.0) return max;  // not at bucket resolution
+  // Same rank convention as the exact reference (ahn::percentile): p spans
+  // the order statistics 0 .. count-1 inclusive.
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (rank < static_cast<double>(below + in_bucket)) {
+      const double lo = LatencyHistogram::lower_bound(i);
+      const double hi = LatencyHistogram::lower_bound(i + 1);
+      const double frac =
+          (rank - static_cast<double>(below)) / static_cast<double>(in_bucket);
+      return std::clamp(lo + (hi - lo) * frac, min, max);
+    }
+    below += in_bucket;
+  }
+  return max;  // rank beyond the last occupied bucket (p == 100)
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+std::size_t LatencyHistogram::bucket_index(double seconds) noexcept {
+  if (!(seconds > kMinValue)) return 0;  // also catches NaN and non-positive
+  if (seconds >= kMaxValue) return kBuckets - 1;
+  const double pos =
+      (std::log10(seconds) - kLogMin) / kLogSpan * static_cast<double>(kBuckets);
+  return std::min<std::size_t>(static_cast<std::size_t>(pos), kBuckets - 1);
+}
+
+double LatencyHistogram::lower_bound(std::size_t i) noexcept {
+  if (i == 0) return 0.0;  // bucket 0 sweeps up everything below kMinValue
+  return std::pow(10.0, kLogMin +
+                            kLogSpan * static_cast<double>(i) /
+                                static_cast<double>(kBuckets));
+}
+
+void LatencyHistogram::record(double seconds) noexcept {
+  if (std::isnan(seconds)) return;
+  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, seconds);
+  atomic_min(min_, seconds);
+  atomic_max(max_, seconds);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  // Concurrent recording can momentarily leave count behind the buckets (or
+  // ahead); reconcile so percentile() ranks against what it can actually see.
+  std::uint64_t bucketed = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) bucketed += s.buckets[i];
+  s.count = bucketed;
+  return s;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+void RegistrySnapshot::merge(const RegistrySnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) gauges[name] = v;
+  for (const auto& [name, h] : other.histograms) {
+    auto [it, inserted] = histograms.try_emplace(name, h);
+    if (!inserted) it->second.merge(h);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& c = counters_[name];
+  if (c == nullptr) c = std::make_unique<Counter>();
+  return *c;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& g = gauges_[name];
+  if (g == nullptr) g = std::make_unique<Gauge>();
+  return *g;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<LatencyHistogram>& h = histograms_[name];
+  if (h == nullptr) h = std::make_unique<LatencyHistogram>();
+  return *h;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->snapshot();
+  return s;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace ahn::obs

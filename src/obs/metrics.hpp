@@ -1,0 +1,151 @@
+#pragma once
+// Process-wide metrics substrate (docs/OBSERVABILITY.md): named counters,
+// gauges, and fixed-bucket latency histograms with O(1) lock-free recording.
+// This is what bounds the serving-stats memory — a histogram is a fixed
+// array of atomic bucket counts, however many samples it absorbs — and what
+// lets readers compute percentiles without ever stalling a recording thread.
+//
+// Snapshots are plain value types and merge associatively, so per-shard or
+// per-component registries can be combined into one process view before
+// export (obs/export.hpp).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ahn::obs {
+
+/// Monotonic event counter. All operations are lock-free.
+class Counter {
+ public:
+  void increment(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, pool width, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Immutable copy of one histogram; mergeable, and the thing percentiles are
+/// computed from (never the live atomics).
+struct HistogramSnapshot {
+  static constexpr std::size_t kBuckets = 240;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+
+  /// Percentile estimate (p in [0, 100]); 0 when empty. Linear interpolation
+  /// inside the selected bucket, clamped to the exact observed [min, max] —
+  /// so p0/p100 are exact and every estimate is within one bucket width of
+  /// the sorted-sample reference (ahn::percentile).
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Associative merge (counts add; min/max/sum combine).
+  void merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket latency histogram over seconds in [1e-9, 1e3], log-spaced
+/// (240 buckets, ~12% relative width). record() is O(1) and lock-free; the
+/// footprint is constant regardless of sample count.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = HistogramSnapshot::kBuckets;
+  static constexpr double kMinValue = 1e-9;
+  static constexpr double kMaxValue = 1e3;
+
+  void record(double seconds) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Convenience: percentile of a fresh snapshot.
+  [[nodiscard]] double percentile(double p) const { return snapshot().percentile(p); }
+
+  void reset() noexcept;
+
+  /// Bucket index for a value (clamped into range). Exposed for tests.
+  [[nodiscard]] static std::size_t bucket_index(double seconds) noexcept;
+  /// Lower bound of bucket `i` (upper bound is lower_bound(i + 1)).
+  [[nodiscard]] static double lower_bound(std::size_t i) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Value copy of a whole registry at one point in time.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Associative merge (counters/histograms add; gauges last-write-wins).
+  void merge(const RegistrySnapshot& other);
+};
+
+/// Named metric registry. Instruments are created on first use and live for
+/// the registry's lifetime at a stable address, so hot paths look a metric
+/// up once and hold the reference. A process-wide instance is available via
+/// global(); components that want isolation (e.g. one ServingStats per
+/// orchestrator) own their own registry and merge snapshots at export time.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] static MetricsRegistry& global();
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] LatencyHistogram& histogram(const std::string& name);
+
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
+  /// Zeroes every instrument. Registrations (and outstanding references)
+  /// stay valid.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace ahn::obs

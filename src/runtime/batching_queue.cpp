@@ -7,8 +7,9 @@
 
 namespace ahn::runtime {
 
-BatchingQueue::BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingStats* stats)
-    : run_batch_(std::move(run_batch)), opts_(opts), stats_(stats) {
+BatchingQueue::BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingStats* stats,
+                             obs::Tracer* tracer)
+    : run_batch_(std::move(run_batch)), opts_(opts), stats_(stats), tracer_(tracer) {
   AHN_CHECK(run_batch_ != nullptr);
   AHN_CHECK_MSG(opts_.max_batch >= 1, "max_batch must be at least 1");
   if (opts_.max_delay_seconds > 0.0) {
@@ -127,6 +128,11 @@ void BatchingQueue::execute(const std::string& model, PendingBatch batch) {
     live.deadlines.push_back(batch.deadlines[r]);
   }
   if (live.empty()) return;
+
+  // One span per dispatched batch: the coalescing itself is what the trace
+  // should show (B requests riding one fetch/encode/load/run).
+  std::optional<obs::Span> span;
+  if (tracer_ != nullptr) span.emplace(*tracer_, "batching.execute");
 
   RowResults results;
   try {

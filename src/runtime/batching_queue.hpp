@@ -36,6 +36,7 @@
 
 #include "common/serving_stats.hpp"
 #include "common/status.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace ahn::runtime {
@@ -59,7 +60,10 @@ class BatchingQueue {
   using RowResults = std::vector<Result<Tensor>>;
   using BatchFn = std::function<RowResults(const std::string& model, const Tensor& batch)>;
 
-  BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingStats* stats = nullptr);
+  /// `tracer` (optional) receives one "batching.execute" span per dispatched
+  /// batch, parented under the submitting/flushing caller's current span.
+  BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingStats* stats = nullptr,
+                obs::Tracer* tracer = nullptr);
   ~BatchingQueue();  ///< stops the flusher; fails stragglers with kShuttingDown
 
   BatchingQueue(const BatchingQueue&) = delete;
@@ -104,6 +108,7 @@ class BatchingQueue {
   BatchFn run_batch_;
   BatchingOptions opts_;
   ServingStats* stats_;
+  obs::Tracer* tracer_;
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, PendingBatch> pending_;

@@ -23,7 +23,10 @@ std::future<Result<Tensor>> ready_result(Result<Tensor> r) {
 }  // namespace
 
 Orchestrator::Orchestrator(DeviceModel device, OrchestratorOptions opts)
-    : device_(device), opts_(opts), tensors_(opts.store_shards) {}
+    : device_(device),
+      opts_(opts),
+      tracer_(opts.tracer != nullptr ? opts.tracer : &obs::Tracer::global()),
+      tensors_(opts.store_shards) {}
 
 Orchestrator::~Orchestrator() = default;
 
@@ -215,6 +218,7 @@ Status Orchestrator::run_model(const std::string& name, const std::string& in_ke
     stats_.record_shutdown_rejection();
     return Status(StatusCode::kShuttingDown, "orchestrator draining");
   }
+  const obs::Span span(*tracer_, "serve.run_model");
   return run_model_admitted(name, in_key, out_key, phases);
 }
 
@@ -259,8 +263,11 @@ std::future<Status> Orchestrator::run_model_async(const std::string& name,
   }
   // The draining check above is the admission decision; once accepted, the
   // task runs to completion even if a drain starts before the pool gets to
-  // it (the drain contract: every accepted request is served).
-  return pool().submit([this, name, in_key, out_key] {
+  // it (the drain contract: every accepted request is served). The caller's
+  // span context rides along so the pool-side span stays on its trace.
+  const obs::SpanContext parent = obs::Tracer::current();
+  return pool().submit([this, name, in_key, out_key, parent] {
+    const obs::Span span(*tracer_, "serve.run_model_async", parent);
     return run_model_admitted(name, in_key, out_key, /*phases=*/nullptr);
   });
 }
@@ -282,6 +289,7 @@ std::future<Result<Tensor>> Orchestrator::run_model_batched(const std::string& n
       // Open (or probe-saturated half-open) breaker: the request is served
       // by the original code on the caller's thread — graceful systemic
       // degradation instead of doomed surrogate traffic.
+      const obs::Span span(*tracer_, "serve.breaker_fallback");
       stats_.record_breaker_fallback();
       if (row.rank() == 1) row.reshape({1, row.size()});
       return ready_result(Result<Tensor>(m->fallback(row)));
@@ -327,6 +335,9 @@ BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
     stats_.record_qoi_fallback();
     if (m.fallback) {
       // §7.1: re-run the original code for this request, transparently.
+      // Nested under the enclosing batch span (same thread), so the trace
+      // shows which batch paid the original-code cost.
+      const obs::Span span(*tracer_, "serve.qoi_fallback");
       results.emplace_back(m.fallback(input_row()));
     } else {
       results.emplace_back(
@@ -366,6 +377,9 @@ BatchingQueue& Orchestrator::batches() {
     batches_ = std::make_unique<BatchingQueue>(
         [this](const std::string& model_name,
                const Tensor& batch) -> BatchingQueue::RowResults {
+          // Nested inside the queue's "batching.execute" span (same thread):
+          // the batch span covers model lookup + the fused forward + QoI.
+          const obs::Span span(*tracer_, "serve.batch");
           const std::size_t rows = batch.rows();
           const std::shared_ptr<const ServableModel> m = find_model(model_name);
           if (m == nullptr) {
@@ -381,7 +395,7 @@ BatchingQueue& Orchestrator::batches() {
           record_requests(batch_phases, rows);
           return finalize_batch(model_name, *m, batch, out.value());
         },
-        bopts, &stats_);
+        bopts, &stats_, tracer_);
   });
   return *batches_;
 }

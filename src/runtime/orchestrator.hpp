@@ -47,6 +47,7 @@
 #include "common/status.hpp"
 #include "common/timer.hpp"
 #include "nn/train.hpp"
+#include "obs/trace.hpp"
 #include "runtime/batching_queue.hpp"
 #include "runtime/circuit_breaker.hpp"
 #include "runtime/device.hpp"
@@ -105,6 +106,10 @@ struct OrchestratorOptions {
   RetryPolicy retry;                   ///< transient-fault retry budget
   CircuitBreakerOptions breaker;       ///< per-model QoI breaker tuning
   bool enable_breaker = true;          ///< engages for models with a fallback
+
+  /// Span sink for the per-request serving traces (docs/OBSERVABILITY.md).
+  /// nullptr = obs::Tracer::global(); tests point this at their own tracer.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Per-request options for the batched path.
@@ -197,6 +202,10 @@ class Orchestrator {
   [[nodiscard]] ServingStats& stats() noexcept { return stats_; }
   [[nodiscard]] const ServingStats& stats() const noexcept { return stats_; }
 
+  /// The span sink serving traces are recorded into (see
+  /// OrchestratorOptions::tracer).
+  [[nodiscard]] obs::Tracer& tracer() const noexcept { return *tracer_; }
+
   [[nodiscard]] const DeviceModel& device() const noexcept { return device_; }
   [[nodiscard]] const OrchestratorOptions& options() const noexcept { return opts_; }
 
@@ -239,6 +248,7 @@ class Orchestrator {
 
   DeviceModel device_;
   OrchestratorOptions opts_;
+  obs::Tracer* tracer_;  ///< never null (defaults to the global tracer)
   ServingStats stats_;
 
   ShardedTensorStore tensors_;

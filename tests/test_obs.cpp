@@ -1,0 +1,412 @@
+// Tests for the observability layer (docs/OBSERVABILITY.md): histogram
+// percentile accuracy against the sorted-sample reference, lock-free
+// recording under concurrency, span nesting and cross-thread parenting,
+// JSON export well-formedness, and the thread-safety regressions for
+// PhaseAccumulator and the logger (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/serving_stats.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace ahn;
+
+// One log-spaced bucket spans a factor of 10^(12/240); an estimate that is
+// "within one bucket" of the reference is within this relative error.
+constexpr double kBucketRelWidth = 0.13;
+
+TEST(LatencyHistogram, PercentilesWithinOneBucketOfReference) {
+  obs::LatencyHistogram hist;
+  Rng rng(42);
+  std::vector<double> samples;
+  samples.reserve(5000);
+  for (int i = 0; i < 5000; ++i) {
+    // Lognormal-ish latencies spanning ~3 decades around 100us.
+    const double v = 100e-6 * std::exp(1.2 * rng.gaussian());
+    samples.push_back(v);
+    hist.record(v);
+  }
+  EXPECT_EQ(hist.count(), samples.size());
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    const double ref = percentile(samples, p);
+    const double est = hist.percentile(p);
+    EXPECT_NEAR(est, ref, ref * kBucketRelWidth)
+        << "p" << p << ": est=" << est << " ref=" << ref;
+  }
+}
+
+TEST(LatencyHistogram, ExtremesAreExact) {
+  obs::LatencyHistogram hist;
+  for (const double v : {3.7e-5, 1.1e-4, 9.0e-4, 2.2e-3}) hist.record(v);
+  EXPECT_DOUBLE_EQ(hist.percentile(0.0), 3.7e-5);
+  EXPECT_DOUBLE_EQ(hist.percentile(100.0), 2.2e-3);
+  const obs::HistogramSnapshot snap = hist.snapshot();
+  EXPECT_DOUBLE_EQ(snap.min, 3.7e-5);
+  EXPECT_DOUBLE_EQ(snap.max, 2.2e-3);
+  EXPECT_NEAR(snap.sum, 3.7e-5 + 1.1e-4 + 9.0e-4 + 2.2e-3, 1e-12);
+}
+
+TEST(LatencyHistogram, EmptyAndOutOfRangeValues) {
+  obs::LatencyHistogram hist;
+  EXPECT_DOUBLE_EQ(hist.percentile(50.0), 0.0);
+  hist.record(0.0);                       // below range -> first bucket
+  hist.record(1e9);                       // above range -> last bucket
+  hist.record(std::nan(""));              // dropped, never corrupts state
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_GE(hist.percentile(50.0), 0.0);
+}
+
+TEST(LatencyHistogram, SnapshotsMergeAssociatively) {
+  obs::LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(1e-4);
+  for (int i = 0; i < 300; ++i) b.record(4e-3);
+  obs::HistogramSnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.count, 400u);
+  EXPECT_DOUBLE_EQ(merged.min, 1e-4);
+  EXPECT_DOUBLE_EQ(merged.max, 4e-3);
+  // 300 of 400 samples sit at 4e-3, so the median lands in its bucket.
+  EXPECT_NEAR(merged.percentile(50.0), 4e-3, 4e-3 * kBucketRelWidth);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordWhileSnapshotting) {
+  obs::LatencyHistogram hist;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      const obs::HistogramSnapshot snap = hist.snapshot();
+      ASSERT_LE(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+      (void)snap.percentile(99.0);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&hist, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.record(1e-5 * static_cast<double>(1 + (i + t) % 50));
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  // Lock-free recording loses nothing: the final count is exact.
+  EXPECT_EQ(hist.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, InstrumentsHaveStableIdentity) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c1 = reg.counter("events");
+  obs::Counter& c2 = reg.counter("events");
+  EXPECT_EQ(&c1, &c2);
+  c1.increment(3);
+  EXPECT_EQ(c2.value(), 3u);
+
+  reg.gauge("depth").set(7.5);
+  reg.histogram("lat").record(1e-4);
+  const obs::RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("events"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("depth"), 7.5);
+  EXPECT_EQ(snap.histograms.at("lat").count, 1u);
+
+  reg.reset();
+  EXPECT_EQ(c1.value(), 0u);  // outstanding references survive reset
+  c1.increment();
+  EXPECT_EQ(reg.snapshot().counters.at("events"), 1u);
+}
+
+TEST(MetricsRegistry, ConcurrentGetOrCreateAndIncrement) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.counter("shared").increment();
+        reg.histogram("shared.lat").record(2e-4);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.histogram("shared.lat").count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Tracer, SpansNestAndRestoreCurrent) {
+  obs::Tracer tracer;
+  EXPECT_EQ(obs::Tracer::current().span_id, 0u);
+  std::uint64_t outer_span = 0, outer_trace = 0;
+  {
+    obs::Span outer(tracer, "outer");
+    outer_span = outer.context().span_id;
+    outer_trace = outer.context().trace_id;
+    EXPECT_EQ(obs::Tracer::current().span_id, outer_span);
+    {
+      const obs::Span inner(tracer, "inner");
+      EXPECT_EQ(inner.context().trace_id, outer_trace);  // same trace
+      EXPECT_NE(inner.context().span_id, outer_span);
+      EXPECT_EQ(obs::Tracer::current().span_id, inner.context().span_id);
+    }
+    EXPECT_EQ(obs::Tracer::current().span_id, outer_span);
+  }
+  EXPECT_EQ(obs::Tracer::current().span_id, 0u);
+
+  const obs::TracerSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.recent.size(), 2u);
+  // "inner" finished first; its parent is "outer", whose parent is root (0).
+  EXPECT_EQ(snap.recent[0].name, "inner");
+  EXPECT_EQ(snap.recent[0].parent_span_id, outer_span);
+  EXPECT_EQ(snap.recent[1].name, "outer");
+  EXPECT_EQ(snap.recent[1].parent_span_id, 0u);
+  EXPECT_EQ(snap.recent[0].trace_id, snap.recent[1].trace_id);
+  EXPECT_EQ(snap.aggregates.at("inner").count, 1u);
+  EXPECT_GE(snap.aggregates.at("outer").total_seconds,
+            snap.aggregates.at("inner").total_seconds);
+}
+
+TEST(Tracer, ExplicitParentCrossesThreads) {
+  obs::Tracer tracer;
+  obs::SpanContext parent;
+  {
+    const obs::Span root(tracer, "submit");
+    parent = root.context();
+    std::thread worker([&tracer, parent] {
+      const obs::Span child(tracer, "pool_task", parent);
+      EXPECT_EQ(child.context().trace_id, parent.trace_id);
+    });
+    worker.join();
+  }
+  const obs::TracerSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.recent.size(), 2u);
+  EXPECT_EQ(snap.recent[0].name, "pool_task");
+  EXPECT_EQ(snap.recent[0].trace_id, parent.trace_id);
+  EXPECT_EQ(snap.recent[0].parent_span_id, parent.span_id);
+}
+
+TEST(Tracer, RingIsBoundedButAggregatesAreNot) {
+  obs::Tracer tracer(/*ring_capacity=*/8);
+  for (int i = 0; i < 100; ++i) {
+    const obs::Span s(tracer, "tick");
+  }
+  EXPECT_EQ(tracer.spans_recorded(), 100u);
+  const obs::TracerSnapshot snap = tracer.snapshot();
+  EXPECT_EQ(snap.recent.size(), 8u);  // only the newest 8 survive
+  EXPECT_EQ(snap.aggregates.at("tick").count, 100u);
+}
+
+TEST(Tracer, ConcurrentSpansKeepExactCounts) {
+  obs::Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const obs::Span s(tracer, "work");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(tracer.spans_recorded(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(tracer.snapshot().aggregates.at("work").count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// Minimal structural JSON check: quotes pair up and braces/brackets balance
+// outside strings. Enough to catch an unterminated object or a raw NaN.
+void expect_balanced_json(const std::string& s) {
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    else if (c == '{' || c == '[') ++depth;
+    else if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+TEST(ExportJson, RoundTripsRegistryAndSpans) {
+  obs::MetricsRegistry reg;
+  reg.counter("requests").increment(42);
+  reg.gauge("queue_depth").set(3.0);
+  for (int i = 0; i < 10; ++i) reg.histogram("latency").record(1e-4);
+
+  obs::Tracer tracer;
+  {
+    const obs::Span s(tracer, R"(needs "escaping"
+badly)");
+  }
+
+  const std::string json = obs::export_json_string(reg, &tracer);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"requests\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 10"), std::string::npos);
+  EXPECT_NE(json.find("needs \\\"escaping\\\"\\nbadly"), std::string::npos);
+
+  // Without a tracer the span sections are omitted entirely.
+  const std::string bare = obs::export_json_string(reg);
+  expect_balanced_json(bare);
+  EXPECT_EQ(bare.find("recent_spans"), std::string::npos);
+}
+
+TEST(ExportJson, EmptyRegistryIsStillValid) {
+  obs::MetricsRegistry reg;
+  const std::string json = obs::export_json_string(reg);
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+}
+
+TEST(ServingStatsObs, RegistryCountersMatchSnapshot) {
+  ServingStats stats;
+  RequestPhases phases;
+  phases.fetch = 1e-5;
+  phases.encode = 2e-5;
+  phases.load = 3e-5;
+  phases.run = 4e-5;
+  for (int i = 0; i < 7; ++i) stats.record_request(phases);
+  stats.record_qoi_fallback();
+  stats.record_fault_injected("transient");
+  stats.record_fault_injected("transient");
+  stats.record_retry();
+
+  const ServingStatsSnapshot snap = stats.snapshot();
+  const obs::RegistrySnapshot reg = stats.metrics().snapshot();
+  EXPECT_EQ(reg.counters.at("serving.requests_served"), snap.requests_served);
+  EXPECT_EQ(reg.counters.at("serving.qoi_fallbacks"), snap.qoi_fallbacks);
+  EXPECT_EQ(reg.counters.at("serving.faults_injected"), snap.faults_injected);
+  EXPECT_EQ(reg.counters.at("serving.fault.transient"), 2u);
+  EXPECT_EQ(reg.counters.at("serving.retries"), snap.retries);
+  EXPECT_EQ(reg.histograms.at("serving.latency.total").count, 7u);
+  EXPECT_NEAR(reg.histograms.at("serving.latency.total").sum, 7 * 1e-4, 1e-10);
+}
+
+TEST(ServingStatsObs, ExactSamplesModeMatchesSortedReference) {
+  ServingStats stats;
+  stats.set_exact_samples(true);
+  Rng rng(7);
+  std::vector<double> totals;
+  for (int i = 0; i < 200; ++i) {
+    RequestPhases phases;
+    phases.fetch = 1e-5 * (1.0 + rng.uniform());
+    phases.encode = 2e-5 * (1.0 + rng.uniform());
+    phases.load = 5e-6;
+    phases.run = 1e-4 * (1.0 + rng.uniform());
+    totals.push_back(phases.total());
+    stats.record_request(phases);
+  }
+  for (const double p : {0.0, 25.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(stats.latency_percentile("total", p), percentile(totals, p));
+  }
+  // Histogram mode stays within one bucket of the same reference.
+  stats.set_exact_samples(false);
+  const double ref = percentile(totals, 95.0);
+  EXPECT_NEAR(stats.latency_percentile("total", 95.0), ref, ref * kBucketRelWidth);
+}
+
+// Regression: PhaseAccumulator is shared across concurrent run_model_async
+// requests; concurrent add() used to race. TSan covers this in CI.
+TEST(PhaseAccumulatorObs, ConcurrentAddIsExact) {
+  PhaseAccumulator acc;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&acc] {
+      for (int i = 0; i < kPerThread; ++i) acc.add("phase", 1e-6);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_NEAR(acc.total(), kThreads * kPerThread * 1e-6, 1e-9);
+  const std::vector<PhaseAccumulator::Entry> entries = acc.entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_NEAR(entries[0].seconds, kThreads * kPerThread * 1e-6, 1e-9);
+}
+
+// Regression: Log::set_level used to write a plain enum that reader threads
+// loaded unsynchronized. TSan covers this in CI.
+TEST(LogObs, SetLevelRacesAreBenign) {
+  const LogLevel before = Log::level();
+  std::atomic<bool> done{false};
+  std::thread flipper([&] {
+    for (int i = 0; i < 2000; ++i) {
+      Log::set_level(i % 2 == 0 ? LogLevel::Off : LogLevel::ErrorLevel);
+    }
+    done.store(true, std::memory_order_relaxed);
+  });
+  std::thread writer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      AHN_DEBUG("concurrent with set_level");  // level gate races harmlessly
+    }
+  });
+  flipper.join();
+  writer.join();
+  Log::set_level(before);
+}
+
+TEST(LogObs, StructuredLineCarriesTimestampComponentAndTrace) {
+  const LogLevel before = Log::level();
+  Log::set_level(LogLevel::Info);
+  std::ostringstream captured;
+  std::streambuf* old = std::cerr.rdbuf(captured.rdbuf());
+  {
+    const obs::Span span(obs::Tracer::global(), "log_test");
+    AHN_INFO_C("mycomp", "hello " << 42);
+  }
+  std::cerr.rdbuf(old);
+  Log::set_level(before);
+
+  const std::string line = captured.str();
+  // 2026-08-05T12:34:56.789Z [info] mycomp trace=N hello 42
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[23], 'Z');
+  EXPECT_NE(line.find(" [info] mycomp "), std::string::npos);
+  EXPECT_NE(line.find(" trace="), std::string::npos);
+  EXPECT_NE(line.find("hello 42"), std::string::npos);
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <future>
 #include <thread>
@@ -593,6 +594,44 @@ TEST(ServingStats, ThreadSafeUnderConcurrentRecording) {
   for (auto& th : threads) th.join();
   EXPECT_EQ(stats.requests_served(), 800u);
   EXPECT_EQ(stats.batches_executed(), 80u);
+}
+
+TEST(ServingStats, PercentileReadsDoNotBlockRecording) {
+  // Percentiles now come from fixed-bucket histograms: a reader computing
+  // them holds no lock the recording hot path needs, so recorders lose
+  // nothing no matter how hard the stats are hammered mid-flight.
+  ServingStats stats;
+  constexpr int kRecorders = 4;
+  constexpr int kPerRecorder = 5000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        (void)stats.latency_percentile("total", 99.0);
+        (void)stats.latency_percentile("run", 50.0);
+        (void)stats.snapshot();
+      }
+    });
+  }
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kRecorders; ++t) {
+    recorders.emplace_back([&stats] {
+      for (int i = 0; i < kPerRecorder; ++i) {
+        stats.record_request({1e-6, 0.0, 1e-6, 1e-6 * (1 + i % 7)});
+      }
+    });
+  }
+  for (auto& th : recorders) th.join();
+  done.store(true, std::memory_order_relaxed);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(stats.requests_served(),
+            static_cast<std::uint64_t>(kRecorders) * kPerRecorder);
+  EXPECT_EQ(stats.metrics().snapshot().histograms.at("serving.latency.total").count,
+            static_cast<std::uint64_t>(kRecorders) * kPerRecorder);
+  const double p99 = stats.latency_percentile("total", 99.0);
+  EXPECT_GT(p99, 0.0);
+  EXPECT_LE(p99, stats.latency_percentile("total", 100.0));
 }
 
 }  // namespace
