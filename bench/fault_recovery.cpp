@@ -23,6 +23,7 @@
 #include "common/timer.hpp"
 #include "nn/topology.hpp"
 #include "obs/export.hpp"
+#include "obs/exposition.hpp"
 #include "runtime/fault_injector.hpp"
 #include "runtime/orchestrator.hpp"
 
@@ -176,6 +177,19 @@ int main() {
     json << "\n}\n";
   }
   std::cout << "wrote BENCH_fault_recovery.json\n";
+
+  // Standalone library-writer exports (bool-checked) — JSON document plus
+  // the Prometheus exposition the CI smoke gate parses.
+  const bool json_ok = obs::export_json_file("BENCH_fault_recovery.metrics.json",
+                                             orc.stats().metrics(), &orc.tracer());
+  const bool prom_ok = obs::export_prometheus_file("BENCH_fault_recovery.prom",
+                                                   orc.stats().metrics());
+  if (!json_ok || !prom_ok) {
+    std::cout << "FAIL: metrics export (json=" << json_ok << " prom=" << prom_ok
+              << ")\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_fault_recovery.metrics.json, BENCH_fault_recovery.prom\n";
 
   const bool all_complete = clean.failed == 0 && faulty.failed == 0 &&
                             faulty.completed == total;

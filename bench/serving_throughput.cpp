@@ -25,6 +25,7 @@
 #include "common/timer.hpp"
 #include "nn/topology.hpp"
 #include "obs/export.hpp"
+#include "obs/exposition.hpp"
 #include "runtime/orchestrator.hpp"
 
 namespace {
@@ -174,6 +175,21 @@ int main() {
     json << "\n}\n";
   }
   std::cout << "wrote BENCH_serving.json\n";
+
+  // Standalone exports through the library writers (return values checked —
+  // a silent half-written file is worse than a failed bench): the registry
+  // as its own JSON document, and the Prometheus text exposition CI's
+  // line-format smoke gate parses.
+  const bool json_ok = obs::export_json_file("BENCH_serving.metrics.json",
+                                             orc.stats().metrics(), &orc.tracer());
+  const bool prom_ok =
+      obs::export_prometheus_file("BENCH_serving.prom", orc.stats().metrics());
+  if (!json_ok || !prom_ok) {
+    std::cout << "FAIL: metrics export (json=" << json_ok << " prom=" << prom_ok
+              << ")\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_serving.metrics.json, BENCH_serving.prom\n";
 
   const bool ok = speedup >= 4.0 && mismatches == 0;
   std::cout << (ok ? "PASS" : "FAIL") << "\n";

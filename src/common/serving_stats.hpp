@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/log.hpp"
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
 
@@ -153,10 +154,13 @@ class ServingStats {
   /// original-code path (open or exhausted half-open state).
   void record_breaker_fallback() { breaker_fallbacks_.increment(); }
 
-  /// Records one breaker state transition, keyed "from->to".
+  /// Records one breaker state transition, keyed "from->to". Also emits a
+  /// structured log line; when the transition happens inside a serving span
+  /// (batch execution, a client's admit), the line carries that trace id.
   void record_breaker_transition(const std::string& from, const std::string& to) {
     const std::string key = from + "->" + to;
     registry_.counter("serving.breaker_transition." + key).increment();
+    AHN_INFO_C("breaker", "transition " << key);
     const std::lock_guard<std::mutex> lock(mu_);
     ++breaker_transitions_[key];
   }

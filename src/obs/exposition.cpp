@@ -1,0 +1,287 @@
+#include "obs/exposition.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace ahn::obs {
+
+namespace {
+
+bool valid_name_char(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                     c == '_' || c == ':';
+  return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+}
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+/// One sample's identity: sanitized family name + normalized label pairs.
+struct SampleName {
+  std::string family;
+  std::vector<std::pair<std::string, std::string>> labels;  // key, escaped value
+};
+
+/// Splits `serving.breaker_state{model="heat3d"}` into family + labels.
+/// Names without a label block (the common case) parse as family-only; a
+/// malformed block is kept readable by folding it into the family name.
+SampleName parse_name(const std::string& name) {
+  SampleName out;
+  const std::size_t open = name.find('{');
+  std::string base = name;
+  if (open != std::string::npos && !name.empty() && name.back() == '}') {
+    base = name.substr(0, open);
+    const std::string inner = name.substr(open + 1, name.size() - open - 2);
+    std::size_t pos = 0;
+    while (pos < inner.size()) {
+      std::size_t comma = inner.find(',', pos);
+      if (comma == std::string::npos) comma = inner.size();
+      const std::string pair = inner.substr(pos, comma - pos);
+      pos = comma + 1;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) continue;
+      std::string value = pair.substr(eq + 1);
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+      out.labels.emplace_back(prometheus_sanitize_name(pair.substr(0, eq)),
+                              prometheus_escape_label(value));
+    }
+  } else if (open != std::string::npos) {
+    base = name;  // unbalanced block: sanitize the whole thing
+  }
+  out.family = prometheus_sanitize_name(base);
+  return out;
+}
+
+void write_labels(std::ostream& os,
+                  const std::vector<std::pair<std::string, std::string>>& labels,
+                  const std::string& extra_key = {},
+                  const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  os << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ',';
+    first = false;
+    os << k << "=\"" << v << '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) os << ',';
+    os << extra_key << "=\"" << extra_value << '"';
+  }
+  os << '}';
+}
+
+template <typename Value>
+using FamilyMap =
+    std::map<std::string, std::vector<std::pair<SampleName, Value>>>;
+
+template <typename Value>
+FamilyMap<Value> group_families(const std::map<std::string, Value>& metrics) {
+  FamilyMap<Value> families;
+  for (const auto& [name, value] : metrics) {
+    SampleName sn = parse_name(name);
+    families[sn.family].emplace_back(std::move(sn), value);
+  }
+  return families;
+}
+
+}  // namespace
+
+std::string prometheus_sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    out.push_back(valid_name_char(c, i == 0) ? c : '_');
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot) {
+  for (const auto& [family, samples] : group_families(snapshot.counters)) {
+    os << "# TYPE " << family << " counter\n";
+    for (const auto& [sn, value] : samples) {
+      os << family;
+      write_labels(os, sn.labels);
+      os << ' ' << value << '\n';
+    }
+  }
+  for (const auto& [family, samples] : group_families(snapshot.gauges)) {
+    os << "# TYPE " << family << " gauge\n";
+    for (const auto& [sn, value] : samples) {
+      os << family;
+      write_labels(os, sn.labels);
+      os << ' ' << format_value(value) << '\n';
+    }
+  }
+  for (const auto& [family, samples] : group_families(snapshot.histograms)) {
+    os << "# TYPE " << family << " histogram\n";
+    for (const auto& [sn, h] : samples) {
+      // Cumulative buckets; empty buckets are elided (le stays increasing,
+      // the running count stays monotone, the scrape stays compact).
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+        if (h.buckets[i] == 0) continue;
+        cumulative += h.buckets[i];
+        os << family << "_bucket";
+        write_labels(os, sn.labels, "le",
+                     format_value(LatencyHistogram::lower_bound(i + 1)));
+        os << ' ' << cumulative << '\n';
+      }
+      os << family << "_bucket";
+      write_labels(os, sn.labels, "le", "+Inf");
+      os << ' ' << h.count << '\n';
+      os << family << "_sum";
+      write_labels(os, sn.labels);
+      os << ' ' << format_value(std::isfinite(h.sum) ? h.sum : 0.0) << '\n';
+      os << family << "_count";
+      write_labels(os, sn.labels);
+      os << ' ' << h.count << '\n';
+    }
+  }
+}
+
+void export_prometheus(std::ostream& os, const MetricsRegistry& registry) {
+  export_prometheus(os, registry.snapshot());
+}
+
+std::string export_prometheus_string(const RegistrySnapshot& snapshot) {
+  std::ostringstream os;
+  export_prometheus(os, snapshot);
+  return os.str();
+}
+
+bool export_prometheus_file(const std::string& path,
+                            const RegistrySnapshot& snapshot) {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_prometheus(out, snapshot);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+bool export_prometheus_file(const std::string& path,
+                            const MetricsRegistry& registry) {
+  return export_prometheus_file(path, registry.snapshot());
+}
+
+void export_chrome_trace(std::ostream& os, const TracerSnapshot& snapshot,
+                         const std::string& process_name) {
+  os << "{\"traceEvents\": [\n";
+  os << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
+        "\"args\": {\"name\": \""
+     << json_escape(process_name) << "\"}}";
+  for (const SpanRecord& s : snapshot.recent) {
+    os << ",\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << s.trace_id
+       << ", \"name\": \"" << json_escape(s.name)
+       << "\", \"ts\": " << s.start_seconds * 1e6
+       << ", \"dur\": " << s.duration_seconds * 1e6
+       << ", \"args\": {\"trace_id\": " << s.trace_id
+       << ", \"span_id\": " << s.span_id
+       << ", \"parent_span_id\": " << s.parent_span_id << "}}";
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+std::string export_chrome_trace_string(const TracerSnapshot& snapshot,
+                                       const std::string& process_name) {
+  std::ostringstream os;
+  export_chrome_trace(os, snapshot, process_name);
+  return os.str();
+}
+
+bool export_chrome_trace_file(const std::string& path, const Tracer& tracer,
+                              const std::string& process_name) {
+  std::ofstream out(path);
+  if (!out) return false;
+  export_chrome_trace(out, tracer.snapshot(), process_name);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+// --------------------------------------------------------- PeriodicExporter
+
+PeriodicExporter::PeriodicExporter(Options opts) : opts_(std::move(opts)) {
+  thread_ = std::thread([this] { run(); });
+}
+
+PeriodicExporter::~PeriodicExporter() { stop(); }
+
+void PeriodicExporter::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  export_once();  // final pass: files reflect the end state
+}
+
+void PeriodicExporter::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto period = std::chrono::duration<double>(
+      opts_.period_seconds > 0.0 ? opts_.period_seconds : 0.001);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, period, [this] { return stopping_; })) break;
+    lock.unlock();
+    export_once();
+    lock.lock();
+  }
+}
+
+void PeriodicExporter::export_once() {
+  bool ok = true;
+  if (opts_.registry != nullptr) {
+    if (!opts_.prometheus_path.empty()) {
+      ok = export_prometheus_file(opts_.prometheus_path, *opts_.registry) && ok;
+    }
+    if (!opts_.json_path.empty()) {
+      ok = export_json_file(opts_.json_path, *opts_.registry, opts_.tracer) && ok;
+    }
+  }
+  if (opts_.tracer != nullptr && !opts_.chrome_trace_path.empty()) {
+    ok = export_chrome_trace_file(opts_.chrome_trace_path, *opts_.tracer) && ok;
+  }
+  last_ok_.store(ok, std::memory_order_relaxed);
+  exports_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ahn::obs

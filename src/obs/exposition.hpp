@@ -1,0 +1,114 @@
+#pragma once
+// Standard-format exposition of the observability state
+// (docs/OBSERVABILITY.md): Prometheus text format (v0.0.4) for any
+// RegistrySnapshot, and Chrome trace-event JSON ("traceEvents") for the
+// tracer's span ring — the two formats external tooling actually scrapes
+// and loads. Both are writable on demand, and a PeriodicExporter can keep
+// files fresh from a background thread with a clean final export on stop.
+//
+// Metric names are sanitized to the Prometheus charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*, '.' and other invalid characters become '_').
+// A name may carry a label block — `serving.breaker_state{model="heat3d"}`
+// — which is parsed and re-emitted as Prometheus labels, so per-model
+// instruments registered under distinct names land in one metric family.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ahn::obs {
+
+/// Sanitizes a metric (or label) base name to the Prometheus charset.
+[[nodiscard]] std::string prometheus_sanitize_name(const std::string& name);
+
+/// Escapes a label value (backslash, double quote, newline).
+[[nodiscard]] std::string prometheus_escape_label(const std::string& value);
+
+/// Writes the snapshot in Prometheus text format: one `# TYPE` line per
+/// metric family, counters/gauges as single samples, histograms as
+/// cumulative `_bucket{le=...}` series (monotone by construction; empty
+/// buckets are elided) plus `_sum` and `_count`. Ends with a newline.
+void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot);
+
+/// Convenience overload snapshotting the live registry.
+void export_prometheus(std::ostream& os, const MetricsRegistry& registry);
+
+[[nodiscard]] std::string export_prometheus_string(const RegistrySnapshot& snapshot);
+
+/// Writes the exposition to `path`; returns false (without throwing) when
+/// the file cannot be opened or written.
+bool export_prometheus_file(const std::string& path, const RegistrySnapshot& snapshot);
+bool export_prometheus_file(const std::string& path, const MetricsRegistry& registry);
+
+/// Writes the tracer snapshot's recent-span ring as Chrome trace-event JSON
+/// ({"traceEvents": [...]}, loadable in chrome://tracing and Perfetto).
+/// Every span becomes a complete ("X") event with microsecond ts/dur; the
+/// trace id is used as the tid so concurrent traces land on separate rows.
+void export_chrome_trace(std::ostream& os, const TracerSnapshot& snapshot,
+                         const std::string& process_name = "auto-hpcnet");
+
+[[nodiscard]] std::string export_chrome_trace_string(
+    const TracerSnapshot& snapshot, const std::string& process_name = "auto-hpcnet");
+
+/// Writes the trace export to `path`; returns false when the file cannot be
+/// opened or written.
+bool export_chrome_trace_file(const std::string& path, const Tracer& tracer,
+                              const std::string& process_name = "auto-hpcnet");
+
+/// Background file exporter: every `period_seconds` it rewrites the
+/// configured files (any subset; empty path = skip that format) from the
+/// live registry/tracer. stop() — also run by the destructor — wakes the
+/// thread, joins it, and performs one final export so the files on disk
+/// reflect the end state. All exports are atomic at file granularity only
+/// (rewrite in place); scrape-side partial reads are the reader's problem,
+/// as with any textfile collector.
+class PeriodicExporter {
+ public:
+  struct Options {
+    double period_seconds = 5.0;
+    std::string prometheus_path;   ///< empty = no Prometheus file
+    std::string json_path;         ///< empty = no JSON file
+    std::string chrome_trace_path; ///< empty = no trace file
+    const MetricsRegistry* registry = nullptr;  ///< required for prom/json
+    const Tracer* tracer = nullptr;             ///< required for trace; optional for json
+  };
+
+  explicit PeriodicExporter(Options opts);
+  PeriodicExporter(const PeriodicExporter&) = delete;
+  PeriodicExporter& operator=(const PeriodicExporter&) = delete;
+  ~PeriodicExporter();
+
+  /// Idempotent: signals the thread, joins it, runs one final export.
+  void stop();
+
+  /// Export passes completed (periodic + final).
+  [[nodiscard]] std::uint64_t exports_completed() const noexcept {
+    return exports_.load(std::memory_order_relaxed);
+  }
+  /// False when any file in the most recent pass failed to write.
+  [[nodiscard]] bool last_export_ok() const noexcept {
+    return last_ok_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void export_once();
+
+  Options opts_;
+  std::atomic<std::uint64_t> exports_{0};
+  std::atomic<bool> last_ok_{true};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ahn::obs

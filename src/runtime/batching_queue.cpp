@@ -12,6 +12,11 @@ BatchingQueue::BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingSta
     : run_batch_(std::move(run_batch)), opts_(opts), stats_(stats), tracer_(tracer) {
   AHN_CHECK(run_batch_ != nullptr);
   AHN_CHECK_MSG(opts_.max_batch >= 1, "max_batch must be at least 1");
+  // Looked up once (stable address for the registry's lifetime) so depth
+  // updates on the submit path are a single atomic store.
+  if (stats_ != nullptr) {
+    depth_gauge_ = &stats_->metrics().gauge("serving.batch_queue_depth");
+  }
   if (opts_.max_delay_seconds > 0.0) {
     flusher_ = std::thread([this] { flusher_loop(); });
   }
@@ -63,6 +68,7 @@ std::future<Result<Tensor>> BatchingQueue::submit(const std::string& model,
     pending.rows.push_back(std::move(row));
     pending.promises.push_back(std::move(promise));
     pending.deadlines.push_back(deadline);
+    update_depth_locked(+1);
     if (pending.rows.size() >= opts_.max_batch) ready = take_locked(model);
   }
   // Leader executes outside the lock: other clients keep filling the next
@@ -93,8 +99,18 @@ bool BatchingQueue::draining() const {
   return draining_;
 }
 
+void BatchingQueue::update_depth_locked(std::ptrdiff_t delta) {
+  pending_rows_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(pending_rows_) + delta);
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<double>(pending_rows_));
+  }
+}
+
 BatchingQueue::PendingBatch BatchingQueue::take_locked(const std::string& model) {
-  return std::exchange(pending_[model], PendingBatch{});
+  PendingBatch taken = std::exchange(pending_[model], PendingBatch{});
+  update_depth_locked(-static_cast<std::ptrdiff_t>(taken.rows.size()));
+  return taken;
 }
 
 std::vector<std::pair<std::string, BatchingQueue::PendingBatch>>

@@ -105,12 +105,18 @@ class BatchingQueue {
   void fail_batch(PendingBatch batch, const Status& status);
   void flusher_loop();
 
+  /// Updates the `serving.batch_queue_depth` gauge (total pending rows
+  /// across models). Callers hold mu_.
+  void update_depth_locked(std::ptrdiff_t delta);
+
   BatchFn run_batch_;
   BatchingOptions opts_;
   ServingStats* stats_;
   obs::Tracer* tracer_;
+  obs::Gauge* depth_gauge_ = nullptr;  ///< null when stats_ is null
 
   mutable std::mutex mu_;
+  std::size_t pending_rows_ = 0;  ///< total rows across pending_ batches
   std::unordered_map<std::string, PendingBatch> pending_;
   bool draining_ = false;  ///< reject new submits with kShuttingDown
   bool stop_ = false;      ///< terminate the flusher thread

@@ -32,6 +32,13 @@ void CircuitBreaker::transition_locked(BreakerState to, double now) {
     stats_->record_breaker_transition(breaker_state_name(state_),
                                       breaker_state_name(to));
   }
+  if (opts_.on_transition) {
+    const double rate = window_count_ == 0
+                            ? 0.0
+                            : static_cast<double>(window_misses_) /
+                                  static_cast<double>(window_count_);
+    opts_.on_transition(state_, to, rate);
+  }
   state_ = to;
   if (to == BreakerState::kOpen) {
     ++trips_;

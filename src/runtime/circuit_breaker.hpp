@@ -48,6 +48,13 @@ struct CircuitBreakerOptions {
   std::size_t half_open_probes = 4;  ///< surrogate probes admitted half-open
   /// Monotonic seconds source; empty = steady_clock. Tests inject a fake.
   std::function<double()> clock;
+  /// Invoked on every state change with the window fallback rate at the
+  /// moment of transition. Runs under the breaker mutex: the callback must
+  /// be fast and must not call back into this breaker (the orchestrator
+  /// uses it to set the per-model state gauge and raise breaker_open
+  /// alerts — docs/OBSERVABILITY.md).
+  std::function<void(BreakerState from, BreakerState to, double window_fallback_rate)>
+      on_transition;
 };
 
 class CircuitBreaker {

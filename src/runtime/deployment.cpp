@@ -1,6 +1,25 @@
 #include "runtime/deployment.hpp"
 
+#include "common/error.hpp"
+
 namespace ahn::runtime {
+
+DeploymentPackage DeploymentPackage::build(std::string name,
+                                           std::shared_ptr<const ServableModel> model,
+                                           const Tensor& training_inputs) {
+  AHN_CHECK(model != nullptr);
+  AHN_CHECK_MSG(training_inputs.rank() == 2 && training_inputs.rows() > 0,
+                "reference sketch needs a non-empty N x F training matrix");
+  auto sketch = std::make_shared<obs::FeatureSketch>(training_inputs.cols());
+  for (std::size_t r = 0; r < training_inputs.rows(); ++r) {
+    sketch->observe(training_inputs.row(r));
+  }
+  DeploymentPackage pkg;
+  pkg.name = std::move(name);
+  pkg.model = std::move(model);
+  pkg.reference = std::move(sketch);
+  return pkg;
+}
 
 DeployedSurrogate::DeployedSurrogate(
     std::shared_ptr<const autoencoder::Autoencoder> encoder,

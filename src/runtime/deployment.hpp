@@ -4,16 +4,42 @@
 // (fetch / encode / load / run — the §7.3 online-time breakdown) and the
 // QoI-fallback contract (§7.1: a problem that misses the quality bound is
 // re-run with the original code).
+//
+// DeploymentPackage is the unit Orchestrator::deploy() installs: the
+// servable model bundled with the training-set reference FeatureSketch that
+// the model-health monitor scores live inputs against
+// (docs/OBSERVABILITY.md — drift detection).
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "autoencoder/autoencoder.hpp"
 #include "nn/train.hpp"
+#include "obs/monitor.hpp"
 #include "runtime/device.hpp"
+#include "runtime/orchestrator.hpp"
 #include "sparse/formats.hpp"
 
 namespace ahn::runtime {
+
+/// Everything a surrogate needs to go live: the servable model plus the
+/// training-set reference sketch drift detection compares live inputs to.
+/// Built once at deployment time (the sketch is a single bounded pass over
+/// the training inputs) and handed to Orchestrator::deploy().
+struct DeploymentPackage {
+  std::string name;
+  std::shared_ptr<const ServableModel> model;
+  /// Per-feature count/mean/variance + P² decile estimates over the
+  /// training inputs; may be null (no drift detection for this model).
+  std::shared_ptr<const obs::FeatureSketch> reference;
+
+  /// Sketches `training_inputs` (N x F, the raw pre-encode features —
+  /// exactly what the serving paths see) and bundles it with the model.
+  [[nodiscard]] static DeploymentPackage build(std::string name,
+                                               std::shared_ptr<const ServableModel> model,
+                                               const Tensor& training_inputs);
+};
 
 struct InferenceTiming {
   double fetch_seconds = 0.0;

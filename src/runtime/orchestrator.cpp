@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "runtime/deployment.hpp"
 
 namespace ahn::runtime {
 
@@ -53,6 +54,12 @@ void Orchestrator::set_model(const std::string& name,
   models_[name] = std::move(model);
 }
 
+void Orchestrator::deploy(const DeploymentPackage& pkg) {
+  AHN_CHECK_MSG(pkg.model != nullptr, "deployment package has no model");
+  set_model(pkg.name, pkg.model);
+  monitor(pkg.name).set_reference(pkg.reference);
+}
+
 std::shared_ptr<const ServableModel> Orchestrator::model(const std::string& name) const {
   std::shared_ptr<const ServableModel> m = find_model(name);
   AHN_CHECK_MSG(m != nullptr, "no model named '" << name << "'");
@@ -79,8 +86,53 @@ std::shared_ptr<FaultInjector> Orchestrator::fault_injector() const {
 CircuitBreaker& Orchestrator::breaker(const std::string& name) {
   const std::lock_guard<std::mutex> lock(breakers_mu_);
   std::unique_ptr<CircuitBreaker>& b = breakers_[name];
-  if (b == nullptr) b = std::make_unique<CircuitBreaker>(opts_.breaker, &stats_);
+  if (b == nullptr) {
+    CircuitBreakerOptions bopts = opts_.breaker;
+    // Per-model state gauge (closed=0 / open=1 / half_open=2) plus the
+    // breaker_open alert hook. Both targets live at stable addresses for
+    // this orchestrator's lifetime; the callback runs under the breaker
+    // mutex and never calls back into the breaker.
+    obs::Gauge& state_gauge =
+        stats_.metrics().gauge("serving.breaker_state{model=\"" + name + "\"}");
+    state_gauge.set(0.0);
+    obs::ModelMonitor* mon = opts_.monitor.enabled ? &monitor(name) : nullptr;
+    const double trip_threshold = bopts.trip_threshold;
+    bopts.on_transition = [&state_gauge, mon, trip_threshold](
+                              BreakerState /*from*/, BreakerState to,
+                              double window_fallback_rate) {
+      state_gauge.set(static_cast<double>(to));
+      if (to == BreakerState::kOpen && mon != nullptr) {
+        mon->record_breaker_open(window_fallback_rate, trip_threshold);
+      }
+    };
+    b = std::make_unique<CircuitBreaker>(std::move(bopts), &stats_);
+  }
   return *b;
+}
+
+obs::ModelMonitor& Orchestrator::monitor(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(monitors_mu_);
+  std::unique_ptr<obs::ModelMonitor>& m = monitors_[name];
+  if (m == nullptr) {
+    m = std::make_unique<obs::ModelMonitor>(name, opts_.monitor, &alerts_);
+  }
+  return *m;
+}
+
+obs::ModelHealth Orchestrator::model_health(const std::string& name) {
+  obs::ModelHealth h = monitor(name).health();
+  {
+    const std::lock_guard<std::mutex> lock(breakers_mu_);
+    const auto it = breakers_.find(name);
+    if (it != breakers_.end()) {
+      h.breaker_state = breaker_state_name(it->second->state());
+      h.breaker_trips = it->second->trips();
+    }
+  }
+  h.latency_p50 = stats_.latency_percentile("total", 50.0);
+  h.latency_p95 = stats_.latency_percentile("total", 95.0);
+  h.latency_p99 = stats_.latency_percentile("total", 99.0);
+  return h;
 }
 
 Result<Tensor> Orchestrator::execute(const ServableModel& m, const Tensor& input,
@@ -248,6 +300,12 @@ Status Orchestrator::run_model_admitted(const std::string& name,
   }
   stats_.record_batch(rows);
   record_requests(batch_phases, rows);
+  if (opts_.monitor.enabled && rows > 0) {
+    // Sampled drift observation for the keyed-store path (no per-row QoI
+    // here). Lock-free for unsampled rows — see obs/monitor.hpp.
+    obs::ModelMonitor& mon = monitor(name);
+    for (std::size_t r = 0; r < rows; ++r) mon.observe_input(input->row(r));
+  }
   put_tensor(out_key, std::move(out.value()));
   return Status::ok();
 }
@@ -307,6 +365,7 @@ BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
   results.reserve(rows);
   CircuitBreaker* br =
       (opts_.enable_breaker && m.fallback) ? &breaker(name) : nullptr;
+  obs::ModelMonitor* mon = opts_.monitor.enabled ? &monitor(name) : nullptr;
   for (std::size_t r = 0; r < rows; ++r) {
     Tensor row_out({1, out.cols()});
     std::copy(out.row(r).begin(), out.row(r).end(), row_out.row(0).begin());
@@ -328,6 +387,7 @@ BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
     if (qoi_ok && m.qoi_check) qoi_ok = m.qoi_check(input_row(), row_out);
 
     if (br != nullptr) br->record_outcome(qoi_ok);
+    if (mon != nullptr) mon->record_request(batch.row(r), qoi_ok);
     if (qoi_ok) {
       results.emplace_back(std::move(row_out));
       continue;

@@ -47,6 +47,7 @@
 #include "common/status.hpp"
 #include "common/timer.hpp"
 #include "nn/train.hpp"
+#include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "runtime/batching_queue.hpp"
 #include "runtime/circuit_breaker.hpp"
@@ -57,6 +58,8 @@
 #include "tensor/tensor.hpp"
 
 namespace ahn::runtime {
+
+struct DeploymentPackage;  // runtime/deployment.hpp
 
 /// A servable model: an optional feature-reduction encoder in front of the
 /// trained surrogate (both execute "on device" via the device model), plus
@@ -107,6 +110,11 @@ struct OrchestratorOptions {
   CircuitBreakerOptions breaker;       ///< per-model QoI breaker tuning
   bool enable_breaker = true;          ///< engages for models with a fallback
 
+  /// Model-health monitoring knobs (docs/OBSERVABILITY.md): input-drift
+  /// detection against the deployed reference sketch, QoI trend alerting,
+  /// sampling rate. monitor.enabled = false turns the whole layer off.
+  obs::MonitorOptions monitor;
+
   /// Span sink for the per-request serving traces (docs/OBSERVABILITY.md).
   /// nullptr = obs::Tracer::global(); tests point this at their own tracer.
   obs::Tracer* tracer = nullptr;
@@ -145,6 +153,11 @@ class Orchestrator {
   void delete_tensor(const std::string& key);
 
   void set_model(const std::string& name, std::shared_ptr<const ServableModel> model);
+
+  /// Registers `pkg.model` under `pkg.name` and installs the training-set
+  /// reference sketch on the model's health monitor, arming drift detection
+  /// for every subsequently served request (docs/OBSERVABILITY.md).
+  void deploy(const DeploymentPackage& pkg);
   /// Registry lookup; throws ahn::Error for unknown names (the serving
   /// paths use the non-throwing internal lookup and report
   /// kModelUnavailable instead).
@@ -198,6 +211,20 @@ class Orchestrator {
   /// The QoI circuit breaker for `name` (created on first use; one per
   /// model). Exposed for observability and tests.
   [[nodiscard]] CircuitBreaker& breaker(const std::string& name);
+
+  /// The health monitor for `name` (created on first use; one per model).
+  /// The serving paths feed it sampled inputs and QoI outcomes; deploy()
+  /// seeds its drift reference.
+  [[nodiscard]] obs::ModelMonitor& monitor(const std::string& name);
+
+  /// Point-in-time health of one model: drift score, QoI trend, alert and
+  /// retrain-recommended flags (from the monitor) plus breaker state/trips
+  /// and total-latency percentiles (from this orchestrator's breaker map
+  /// and stats).
+  [[nodiscard]] obs::ModelHealth model_health(const std::string& name);
+
+  /// The alert fan-out every model monitor (and breaker hook) raises into.
+  [[nodiscard]] obs::AlertSink& alerts() noexcept { return alerts_; }
 
   [[nodiscard]] ServingStats& stats() noexcept { return stats_; }
   [[nodiscard]] const ServingStats& stats() const noexcept { return stats_; }
@@ -265,6 +292,13 @@ class Orchestrator {
 
   std::mutex breakers_mu_;
   std::unordered_map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+
+  // Model-health layer. Lock order: breakers_mu_ may be held while
+  // monitors_mu_ is taken (breaker creation wires its monitor hook), never
+  // the reverse — monitor code does not call into breakers.
+  obs::AlertSink alerts_;
+  std::mutex monitors_mu_;
+  std::unordered_map<std::string, std::unique_ptr<obs::ModelMonitor>> monitors_;
 
   // Both executors are created on first use so sync-only users (most tests,
   // the pipeline) never spawn threads. Destruction order matters: members

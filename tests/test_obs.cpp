@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -21,6 +24,7 @@
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "obs/export.hpp"
+#include "obs/exposition.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -296,6 +300,222 @@ TEST(ExportJson, EmptyRegistryIsStillValid) {
   const std::string json = obs::export_json_string(reg);
   expect_balanced_json(json);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
+}
+
+/// Minimal Prometheus text-format line check: every non-comment line is
+/// `name[{labels}] value`, every family has a `# TYPE` line before its first
+/// sample, and histogram `_bucket` series are cumulative (monotone).
+void expect_valid_prometheus(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::uint64_t last_bucket = 0;
+  std::string last_bucket_family;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      last_bucket_family.clear();
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << line;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    const std::size_t brace = name.find('{');
+    std::string labels;
+    if (brace != std::string::npos) {
+      ASSERT_EQ(name.back(), '}') << line;
+      labels = name.substr(brace + 1, name.size() - brace - 2);
+      name = name.substr(0, brace);
+    }
+    // Metric name charset.
+    ASSERT_FALSE(name.empty()) << line;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+      ASSERT_TRUE(ok) << "bad metric name char in: " << line;
+    }
+    // Value parses as a double (Prometheus accepts +Inf/-Inf/NaN).
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      std::size_t consumed = 0;
+      (void)std::stod(value, &consumed);
+      ASSERT_EQ(consumed, value.size()) << line;
+    }
+    // Cumulative-bucket monotonicity within one series.
+    if (name.size() > 7 && name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      if (name != last_bucket_family) {
+        last_bucket_family = name;
+        last_bucket = 0;
+      }
+      const std::uint64_t count = std::stoull(value);
+      ASSERT_GE(count, last_bucket) << "non-monotone buckets: " << line;
+      last_bucket = count;
+      ASSERT_NE(labels.find("le="), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(Exposition, PrometheusFormatsCountersGaugesHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("serving.requests_served").increment(42);
+  reg.gauge("serving.batch_queue_depth").set(7.0);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    reg.histogram("serving.latency.total").record(std::exp(rng.gaussian() - 9.0));
+  }
+
+  const std::string text = obs::export_prometheus_string(reg.snapshot());
+  expect_valid_prometheus(text);
+  EXPECT_NE(text.find("# TYPE serving_requests_served counter"), std::string::npos);
+  EXPECT_NE(text.find("serving_requests_served 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serving_batch_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serving_latency_total histogram"), std::string::npos);
+  EXPECT_NE(text.find("serving_latency_total_bucket{le=\"+Inf\"} 500"),
+            std::string::npos);
+  EXPECT_NE(text.find("serving_latency_total_count 500"), std::string::npos);
+  EXPECT_NE(text.find("serving_latency_total_sum "), std::string::npos);
+}
+
+TEST(Exposition, EmptyRegistryProducesValidEmptyExposition) {
+  obs::MetricsRegistry reg;
+  const std::string text = obs::export_prometheus_string(reg.snapshot());
+  expect_valid_prometheus(text);
+  EXPECT_TRUE(text.empty());
+}
+
+TEST(Exposition, SanitizesNamesAndParsesLabelBlocks) {
+  obs::MetricsRegistry reg;
+  reg.counter("weird name:with-dashes.and.dots").increment();
+  reg.gauge("serving.breaker_state{model=\"heat-3d \\ \"quoted\"\"}").set(1.0);
+  reg.gauge("serving.breaker_state{model=\"other\"}").set(2.0);
+
+  const std::string text = obs::export_prometheus_string(reg.snapshot());
+  expect_valid_prometheus(text);
+  EXPECT_NE(text.find("weird_name:with_dashes_and_dots 1"), std::string::npos);
+  // Both labeled gauges land in ONE family with a single TYPE line.
+  const std::size_t first = text.find("# TYPE serving_breaker_state gauge");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE serving_breaker_state gauge", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("serving_breaker_state{model=\"other\"} 2"),
+            std::string::npos);
+  // The messy label value is escaped, not emitted raw.
+  EXPECT_NE(text.find("\\\\"), std::string::npos);
+  EXPECT_NE(text.find("\\\""), std::string::npos);
+}
+
+TEST(Exposition, DisjointSnapshotsMergeAndRoundTripBothFormats) {
+  obs::MetricsRegistry a, b;
+  a.counter("alpha.requests").increment(10);
+  a.histogram("alpha.latency").record(1e-4);
+  b.counter("beta.requests").increment(20);
+  b.gauge("beta.depth").set(4.0);
+
+  obs::RegistrySnapshot merged = a.snapshot();
+  merged.merge(b.snapshot());
+  ASSERT_EQ(merged.counters.size(), 2u);
+  ASSERT_EQ(merged.gauges.size(), 1u);
+  ASSERT_EQ(merged.histograms.size(), 1u);
+
+  const std::string prom = obs::export_prometheus_string(merged);
+  expect_valid_prometheus(prom);
+  EXPECT_NE(prom.find("alpha_requests 10"), std::string::npos);
+  EXPECT_NE(prom.find("beta_requests 20"), std::string::npos);
+  EXPECT_NE(prom.find("beta_depth 4"), std::string::npos);
+  EXPECT_NE(prom.find("alpha_latency_count 1"), std::string::npos);
+
+  std::ostringstream json;
+  obs::export_json(json, merged);
+  expect_balanced_json(json.str());
+  EXPECT_NE(json.str().find("\"alpha.requests\": 10"), std::string::npos);
+  EXPECT_NE(json.str().find("\"beta.requests\": 20"), std::string::npos);
+}
+
+TEST(Exposition, ChromeTraceExportIsSchemaValid) {
+  obs::Tracer tracer;
+  {
+    const obs::Span root(tracer, "serve.run_model");
+    const obs::Span child(tracer, R"(needs "escaping")");
+  }
+  const obs::TracerSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.recent.size(), 2u);
+
+  const std::string json = obs::export_chrome_trace_string(snap, "test-proc");
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);  // process_name meta
+  EXPECT_NE(json.find("\"test-proc\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // complete events
+  EXPECT_NE(json.find("\"serve.run_model\""), std::string::npos);
+  EXPECT_NE(json.find("needs \\\"escaping\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(json.find("\"dur\": "), std::string::npos);
+  // Parent/child relationship is preserved in the args.
+  const obs::SpanRecord& child_rec =
+      snap.recent[0].parent_span_id != 0 ? snap.recent[0] : snap.recent[1];
+  EXPECT_NE(json.find("\"parent_span_id\": " +
+                      std::to_string(child_rec.parent_span_id)),
+            std::string::npos);
+}
+
+TEST(Exposition, FileWritersReportFailureForBadPaths) {
+  obs::MetricsRegistry reg;
+  obs::Tracer tracer;
+  EXPECT_FALSE(obs::export_prometheus_file("/nonexistent-dir/x.prom", reg));
+  EXPECT_FALSE(obs::export_chrome_trace_file("/nonexistent-dir/x.json", tracer));
+  EXPECT_TRUE(obs::export_prometheus_file("test_obs_exposition.prom", reg));
+  EXPECT_TRUE(obs::export_chrome_trace_file("test_obs_trace.json", tracer));
+  std::remove("test_obs_exposition.prom");
+  std::remove("test_obs_trace.json");
+}
+
+TEST(Exposition, PeriodicExporterWritesAndStopsCleanly) {
+  obs::MetricsRegistry reg;
+  reg.counter("ticks").increment(3);
+  obs::Tracer tracer;
+  { const obs::Span s(tracer, "periodic.work"); }
+
+  obs::PeriodicExporter::Options opts;
+  opts.period_seconds = 0.005;
+  opts.prometheus_path = "test_obs_periodic.prom";
+  opts.json_path = "test_obs_periodic.json";
+  opts.chrome_trace_path = "test_obs_periodic_trace.json";
+  opts.registry = &reg;
+  opts.tracer = &tracer;
+  {
+    obs::PeriodicExporter exporter(opts);
+    // Wait for at least one periodic pass (bounded, not timing-sensitive).
+    for (Timer t; exporter.exports_completed() == 0 && t.seconds() < 5.0;) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(exporter.exports_completed(), 1u);
+    reg.counter("ticks").increment(39);  // visible in the final export
+  }  // destructor: stop + final export
+
+  std::ifstream prom("test_obs_periodic.prom");
+  ASSERT_TRUE(prom.good());
+  std::stringstream buf;
+  buf << prom.rdbuf();
+  expect_valid_prometheus(buf.str());
+  EXPECT_NE(buf.str().find("ticks 42"), std::string::npos);
+
+  std::ifstream json("test_obs_periodic.json");
+  ASSERT_TRUE(json.good());
+  std::stringstream jbuf;
+  jbuf << json.rdbuf();
+  expect_balanced_json(jbuf.str());
+
+  std::ifstream trace("test_obs_periodic_trace.json");
+  ASSERT_TRUE(trace.good());
+  std::stringstream tbuf;
+  tbuf << trace.rdbuf();
+  expect_balanced_json(tbuf.str());
+  EXPECT_NE(tbuf.str().find("periodic.work"), std::string::npos);
+
+  std::remove("test_obs_periodic.prom");
+  std::remove("test_obs_periodic.json");
+  std::remove("test_obs_periodic_trace.json");
 }
 
 TEST(ServingStatsObs, RegistryCountersMatchSnapshot) {
