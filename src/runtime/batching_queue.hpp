@@ -46,6 +46,8 @@ struct BatchingOptions {
   double max_delay_seconds = 200e-6;   ///< flusher sweep period
 };
 
+/// Thread-safety: fully thread-safe — submit/flush may race from any
+/// thread; internal state is mutex-guarded and futures are single-owner.
 class BatchingQueue {
  public:
   using Clock = std::chrono::steady_clock;

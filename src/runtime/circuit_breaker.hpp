@@ -57,6 +57,8 @@ struct CircuitBreakerOptions {
       on_transition;
 };
 
+/// Thread-safety: fully thread-safe — admit/record_outcome/state may race
+/// from any serving thread; one mutex guards the window and state machine.
 class CircuitBreaker {
  public:
   /// Where admit() routes a request.

@@ -1,0 +1,406 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "runtime/circuit_breaker.hpp"
+
+namespace ahn::runtime {
+
+namespace {
+
+/// An already-resolved batched-request future (routing rejections and
+/// re-wrapped immediate results never enter a queue).
+std::future<Result<Tensor>> ready_result(Result<Tensor> r) {
+  std::promise<Result<Tensor>> p;
+  p.set_value(std::move(r));
+  return p.get_future();
+}
+
+/// Appends a shard="<id>" label to a metric name, composing with an
+/// existing label block (`a{model="x"}` -> `a{model="x",shard="3"}`) so the
+/// exposition layer groups per-shard series into one family.
+std::string with_shard_label(const std::string& name, std::size_t shard) {
+  const std::string label = "shard=\"" + std::to_string(shard) + "\"";
+  if (!name.empty() && name.back() == '}') {
+    return name.substr(0, name.size() - 1) + "," + label + "}";
+  }
+  return name + "{" + label + "}";
+}
+
+}  // namespace
+
+ClusterOrchestrator::ClusterOrchestrator(ClusterOptions opts)
+    : opts_(opts),
+      router_(opts.shards, opts.replication, opts.vnodes),
+      failovers_(cluster_metrics_.counter("cluster.failovers")),
+      breaker_reroutes_(cluster_metrics_.counter("cluster.breaker_reroutes")),
+      shard_failures_(cluster_metrics_.counter("cluster.shard_failures")),
+      shards_alive_gauge_(cluster_metrics_.gauge("cluster.shards_alive")),
+      shards_total_gauge_(cluster_metrics_.gauge("cluster.shards_total")) {
+  AHN_CHECK_MSG(opts_.shards >= 1, "cluster needs at least one shard");
+  AHN_CHECK_MSG(opts_.replication >= 1, "replication factor must be >= 1");
+  shards_.reserve(opts_.shards);
+  for (std::size_t i = 0; i < opts_.shards; ++i) {
+    shards_.push_back(
+        std::make_shared<Orchestrator>(opts_.device, opts_.shard_opts));
+  }
+  set_alive_gauges();
+}
+
+ClusterOrchestrator::~ClusterOrchestrator() = default;
+
+std::shared_ptr<Orchestrator> ClusterOrchestrator::shard_ptr(std::size_t i) const {
+  const std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  AHN_CHECK_MSG(i < shards_.size(), "no shard " << i);
+  return shards_[i];
+}
+
+Orchestrator& ClusterOrchestrator::shard(std::size_t i) { return *shard_ptr(i); }
+
+void ClusterOrchestrator::set_alive_gauges() {
+  shards_alive_gauge_.set(static_cast<double>(router_.alive_count()));
+  shards_total_gauge_.set(static_cast<double>(shards_.size()));
+}
+
+// --- replicated keyed tensor store -----------------------------------------
+
+void ClusterOrchestrator::put_tensor(const std::string& key, Tensor value) {
+  std::size_t wrote = 0;
+  for (const std::size_t s : router_.owners(key)) {
+    if (!router_.alive(s)) continue;
+    shard_ptr(s)->put_tensor(key, value);  // copy per replica
+    ++wrote;
+  }
+  AHN_CHECK_MSG(wrote > 0, "entire replica set for key '" << key << "' is down");
+}
+
+Tensor ClusterOrchestrator::get_tensor(const std::string& key) const {
+  for (const std::size_t s : router_.owners(key)) {
+    if (!router_.alive(s)) continue;
+    const std::shared_ptr<Orchestrator> orc = shard_ptr(s);
+    if (orc->has_tensor(key)) return orc->get_tensor(key);
+  }
+  throw Error("no alive replica holds tensor key '" + key + "'");
+}
+
+bool ClusterOrchestrator::has_tensor(const std::string& key) const {
+  for (const std::size_t s : router_.owners(key)) {
+    if (router_.alive(s) && shard_ptr(s)->has_tensor(key)) return true;
+  }
+  return false;
+}
+
+void ClusterOrchestrator::delete_tensor(const std::string& key) {
+  for (const std::size_t s : router_.owners(key)) {
+    if (router_.alive(s)) shard_ptr(s)->delete_tensor(key);
+  }
+}
+
+// --- replicated model registry ----------------------------------------------
+
+void ClusterOrchestrator::set_model(const std::string& name,
+                                    std::shared_ptr<const ServableModel> model) {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_[name] = ModelRecord{model, nullptr};
+  ++registry_version_;
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    shard_ptr(i)->set_model(name, model);
+  }
+}
+
+void ClusterOrchestrator::deploy(const DeploymentPackage& pkg) {
+  AHN_CHECK_MSG(pkg.model != nullptr, "deployment package has no model");
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  registry_[pkg.name] = ModelRecord{pkg.model, pkg.reference};
+  ++registry_version_;
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    shard_ptr(i)->deploy(pkg);
+  }
+}
+
+std::uint64_t ClusterOrchestrator::registry_version() const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  return registry_version_;
+}
+
+std::vector<std::string> ClusterOrchestrator::model_names() const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(registry_.size());
+  for (const auto& [name, record] : registry_) names.push_back(name);
+  return names;
+}
+
+// --- serving ------------------------------------------------------------------
+
+Status ClusterOrchestrator::run_model(const std::string& name,
+                                      const std::string& in_key,
+                                      const std::string& out_key,
+                                      PhaseAccumulator* phases) {
+  const std::vector<std::size_t> owners = router_.owners(in_key);
+  bool primary_seen = false;
+  Status last(StatusCode::kTransientFailure,
+              "entire replica set for key '" + in_key + "' is down");
+  for (const std::size_t s : owners) {
+    if (!router_.alive(s)) continue;
+    if (!primary_seen && s != owners.front()) failovers_.increment();
+    primary_seen = true;
+    const std::shared_ptr<Orchestrator> orc = shard_ptr(s);
+    const Status st = orc->run_model(name, in_key, out_key, phases);
+    if (st.is_ok()) {
+      // Re-home the result to out_key's replica set; the executing shard
+      // keeps its local copy only if it happens to be an owner.
+      Tensor out = orc->get_tensor(out_key);
+      put_tensor(out_key, std::move(out));
+      const std::vector<std::size_t> out_owners = router_.owners(out_key);
+      if (std::find(out_owners.begin(), out_owners.end(), s) == out_owners.end()) {
+        orc->delete_tensor(out_key);
+      }
+      return st;
+    }
+    if (st.code() == StatusCode::kNotFound ||
+        st.code() == StatusCode::kShuttingDown) {
+      // This replica misses the key (it was dead for the put) or is going
+      // down — the next owner can still serve the request.
+      failovers_.increment();
+      last = st;
+      continue;
+    }
+    return st;  // a real serving failure, not a placement problem
+  }
+  return last;
+}
+
+std::vector<std::size_t> ClusterOrchestrator::prefer_closed_breakers(
+    std::vector<std::size_t> candidates, const std::string& name) {
+  if (!opts_.shard_opts.enable_breaker || candidates.size() < 2) return candidates;
+  const auto breaker_open = [&](std::size_t s) {
+    return shard_ptr(s)->breaker(name).state() == BreakerState::kOpen;
+  };
+  // Only pay the per-shard breaker lookup when the head of the line is
+  // open — the common (healthy) case stays one lookup.
+  if (!breaker_open(candidates.front())) return candidates;
+  const auto first_closed =
+      std::stable_partition(candidates.begin(), candidates.end(),
+                            [&](std::size_t s) { return !breaker_open(s); });
+  if (first_closed != candidates.begin()) breaker_reroutes_.increment();
+  return candidates;
+}
+
+std::future<Result<Tensor>> ClusterOrchestrator::submit_failover(
+    const std::vector<std::size_t>& candidates, const std::string& name,
+    const Tensor& row, const RequestOptions& request) {
+  for (const std::size_t s : candidates) {
+    std::future<Result<Tensor>> fut =
+        shard_ptr(s)->run_model_batched(name, row, request);
+    if (fut.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      return fut;  // accepted: the shard's reliability layer owns it now
+    }
+    // Immediately-ready futures are either a breaker-fallback result (OK —
+    // hand it back) or an admission rejection worth failing over.
+    Result<Tensor> r = fut.get();
+    if (r.is_ok() || r.code() != StatusCode::kShuttingDown) {
+      return ready_result(std::move(r));
+    }
+    // The kill race: the shard started draining between routing and submit.
+    // Mark it dead so the router stops offering it, and resubmit.
+    failovers_.increment();
+    router_.set_alive(s, false);
+    set_alive_gauges();
+  }
+  return ready_result(Status(StatusCode::kTransientFailure,
+                             "no alive shard accepted the request"));
+}
+
+std::future<Result<Tensor>> ClusterOrchestrator::run_model_batched(
+    const std::string& name, Tensor row, RequestOptions request) {
+  // Round-robin over the alive shards: maximum spread, no key affinity.
+  std::vector<std::size_t> alive;
+  alive.reserve(shard_count());
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    if (router_.alive(i)) alive.push_back(i);
+  }
+  if (alive.empty()) {
+    return ready_result(
+        Status(StatusCode::kTransientFailure, "no alive shards in the cluster"));
+  }
+  const std::size_t start =
+      rr_.fetch_add(1, std::memory_order_relaxed) % alive.size();
+  std::rotate(alive.begin(), alive.begin() + static_cast<std::ptrdiff_t>(start),
+              alive.end());
+  return submit_failover(prefer_closed_breakers(std::move(alive), name), name, row,
+                         request);
+}
+
+std::future<Result<Tensor>> ClusterOrchestrator::run_model_batched(
+    const std::string& name, Tensor row, const std::string& routing_key,
+    RequestOptions request) {
+  const std::vector<std::size_t> owners = router_.owners(routing_key);
+  std::vector<std::size_t> alive;
+  alive.reserve(owners.size());
+  for (const std::size_t s : owners) {
+    if (router_.alive(s)) alive.push_back(s);
+  }
+  if (alive.empty()) {
+    return ready_result(
+        Status(StatusCode::kTransientFailure,
+               "entire replica set for key '" + routing_key + "' is down"));
+  }
+  if (alive.front() != owners.front()) failovers_.increment();
+  return submit_failover(prefer_closed_breakers(std::move(alive), name), name, row,
+                         request);
+}
+
+void ClusterOrchestrator::flush_batches() {
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    if (router_.alive(i)) shard_ptr(i)->flush_batches();
+  }
+}
+
+// --- failure handling ---------------------------------------------------------
+
+void ClusterOrchestrator::fail_shard(std::size_t i) {
+  if (!router_.alive(i)) return;
+  // Order matters for the zero-loss contract: stop routing first, then
+  // drain — everything the shard accepted before (or during) the flip still
+  // resolves, and the submit/kill race is absorbed by submit_failover.
+  router_.set_alive(i, false);
+  shard_failures_.increment();
+  set_alive_gauges();
+  shard_ptr(i)->drain();
+}
+
+void ClusterOrchestrator::revive_shard(std::size_t i) {
+  if (router_.alive(i)) return;
+  auto fresh = std::make_shared<Orchestrator>(opts_.device, opts_.shard_opts);
+  {
+    // registry_mu_ before shards_mu_ — the same order as the deploy fan-out.
+    const std::lock_guard<std::mutex> registry_lock(registry_mu_);
+    for (const auto& [name, record] : registry_) {
+      if (record.reference != nullptr) {
+        DeploymentPackage pkg;
+        pkg.name = name;
+        pkg.model = record.model;
+        pkg.reference = record.reference;
+        fresh->deploy(pkg);
+      } else {
+        fresh->set_model(name, record.model);
+      }
+    }
+    const std::unique_lock<std::shared_mutex> shards_lock(shards_mu_);
+    shards_[i] = std::move(fresh);
+  }
+  router_.set_alive(i, true);
+  set_alive_gauges();
+}
+
+// --- aggregate health ----------------------------------------------------------
+
+double ClusterOrchestrator::device_seconds(std::size_t i) {
+  const obs::RegistrySnapshot snap = shard_ptr(i)->stats().metrics().snapshot();
+  const auto it = snap.histograms.find("serving.latency.total");
+  return it == snap.histograms.end() ? 0.0 : it->second.sum;
+}
+
+std::uint64_t ClusterOrchestrator::failovers() const { return failovers_.value(); }
+
+std::uint64_t ClusterOrchestrator::breaker_reroutes() const {
+  return breaker_reroutes_.value();
+}
+
+ClusterHealth ClusterOrchestrator::cluster_health() {
+  ClusterHealth h;
+  h.shards_total = shard_count();
+  h.shards_alive = router_.alive_count();
+  h.failovers = failovers_.value();
+  h.breaker_reroutes = breaker_reroutes_.value();
+  h.registry_version = registry_version();
+  h.uptime_seconds = uptime_.seconds();
+
+  const std::vector<std::string> names = model_names();
+  obs::HistogramSnapshot cluster_latency;
+  double max_device_seconds = 0.0;
+
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    const std::shared_ptr<Orchestrator> orc = shard_ptr(i);
+    const obs::RegistrySnapshot snap = orc->stats().metrics().snapshot();
+
+    ShardHealth sh;
+    sh.shard = i;
+    sh.alive = router_.alive(i);
+    if (const auto it = snap.counters.find("serving.requests_served");
+        it != snap.counters.end()) {
+      sh.requests_served = it->second;
+    }
+    if (const auto it = snap.histograms.find("serving.latency.total");
+        it != snap.histograms.end()) {
+      sh.device_seconds = it->second.sum;
+      sh.latency_p50 = it->second.percentile(50.0);
+      sh.latency_p95 = it->second.percentile(95.0);
+      sh.latency_p99 = it->second.percentile(99.0);
+      cluster_latency.merge(it->second);
+    }
+    for (const std::string& name : names) {
+      sh.breaker_states[name] = breaker_state_name(orc->breaker(name).state());
+    }
+    max_device_seconds = std::max(max_device_seconds, sh.device_seconds);
+    h.requests_served += sh.requests_served;
+
+    // Shard-labeled copy of every per-shard instrument: same-named metrics
+    // from different shards become one family with a shard label, so the
+    // merged snapshot is collision-free and exposition-ready.
+    for (const auto& [k, v] : snap.counters) {
+      h.merged.counters[with_shard_label(k, i)] = v;
+    }
+    for (const auto& [k, v] : snap.gauges) {
+      h.merged.gauges[with_shard_label(k, i)] = v;
+    }
+    for (const auto& [k, v] : snap.histograms) {
+      h.merged.histograms[with_shard_label(k, i)] = v;
+    }
+    h.shards.push_back(std::move(sh));
+  }
+
+  h.latency_p50 = cluster_latency.percentile(50.0);
+  h.latency_p95 = cluster_latency.percentile(95.0);
+  h.latency_p99 = cluster_latency.percentile(99.0);
+  h.avg_rps = h.uptime_seconds > 0.0
+                  ? static_cast<double>(h.requests_served) / h.uptime_seconds
+                  : 0.0;
+  h.modeled_rps = max_device_seconds > 0.0
+                      ? static_cast<double>(h.requests_served) / max_device_seconds
+                      : 0.0;
+
+  // Worst drift per model across shards (each shard sketches only the live
+  // rows it served, so the cluster view is the most pessimistic shard).
+  for (const std::string& name : names) {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < shard_count(); ++i) {
+      const obs::ModelHealth mh = shard_ptr(i)->model_health(name);
+      worst = std::max(worst, mh.drift_score);
+    }
+    h.merged.gauges["cluster.drift_score{model=\"" + name + "\"}"] = worst;
+    if (worst > h.max_drift_score) {
+      h.max_drift_score = worst;
+      h.max_drift_model = name;
+    }
+  }
+
+  // Cluster-level instruments and computed aggregates.
+  h.merged.merge(cluster_metrics_.snapshot());
+  h.merged.counters["cluster.requests_served"] = h.requests_served;
+  h.merged.histograms["cluster.latency.total"] = cluster_latency;
+  h.merged.gauges["cluster.modeled_rps"] = h.modeled_rps;
+  h.merged.gauges["cluster.max_drift_score"] = h.max_drift_score;
+  h.merged.gauges["cluster.registry_version"] =
+      static_cast<double>(h.registry_version);
+  return h;
+}
+
+void ClusterOrchestrator::drain() {
+  for (std::size_t i = 0; i < shard_count(); ++i) shard_ptr(i)->drain();
+}
+
+}  // namespace ahn::runtime

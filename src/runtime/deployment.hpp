@@ -57,6 +57,8 @@ struct InferenceResult {
   InferenceTiming timing;
 };
 
+/// Thread-safety: const-only after construction — infer() is safe to call
+/// concurrently; the model weights are immutable once deployed.
 class DeployedSurrogate {
  public:
   DeployedSurrogate(std::shared_ptr<const autoencoder::Autoencoder> encoder,

@@ -47,6 +47,8 @@ struct WorkloadProfile {
   return {0.04, 0.35};
 }
 
+/// Thread-safety: immutable after construction — all members are const
+/// reads, so one DeviceModel may be shared by every shard and thread.
 class DeviceModel {
  public:
   explicit DeviceModel(DeviceSpec spec = {}) noexcept : spec_(spec) {}

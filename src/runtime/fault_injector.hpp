@@ -40,6 +40,8 @@ struct FaultSpec {
   double batch_drop_prob = 0.0;        ///< per dispatched batch
 };
 
+/// Thread-safety: fully thread-safe — probability draws use a mutex-guarded
+/// RNG, so concurrent serving threads may share one injector.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultSpec spec = FaultSpec{}, std::uint64_t seed = 42);

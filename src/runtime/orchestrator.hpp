@@ -138,6 +138,8 @@ struct RequestOptions {
 };
 
 /// The keyed tensor store + model registry (one per "experiment").
+/// Thread-safety: fully thread-safe — any mix of clients may call any member
+/// concurrently (striped store, shared_mutex registry, locked queues).
 class Orchestrator {
  public:
   explicit Orchestrator(DeviceModel device = DeviceModel{},
@@ -310,6 +312,8 @@ class Orchestrator {
 };
 
 /// Listing 1's application-side client.
+/// Thread-safety: as safe as the Orchestrator it wraps — stateless itself;
+/// one Client may be shared, or cheaply created per thread.
 class Client {
  public:
   explicit Client(Orchestrator& orc) noexcept : orc_(&orc) {}

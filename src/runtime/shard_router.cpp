@@ -1,0 +1,153 @@
+#include "runtime/shard_router.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace ahn::runtime {
+
+std::uint64_t fnv1a64(const std::string& key) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t ring_hash(const std::string& key) noexcept {
+  // MurmurHash3 fmix64 finalizer — fixed constants, part of the placement
+  // contract.
+  std::uint64_t h = fnv1a64(key);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+namespace {
+
+/// The ring point for one (shard, vnode) pair. The label format is part of
+/// the placement contract (docs/SHARDING.md): changing it migrates keys.
+std::uint64_t vnode_hash(std::size_t shard, std::size_t vnode) {
+  return ring_hash("shard-" + std::to_string(shard) + "#" + std::to_string(vnode));
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(std::size_t shards, std::size_t vnodes)
+    : vnodes_(vnodes) {
+  AHN_CHECK_MSG(vnodes_ >= 1, "ring needs at least one vnode per shard");
+  for (std::size_t s = 0; s < shards; ++s) add_shard(s);
+}
+
+void ConsistentHashRing::add_shard(std::size_t id) {
+  if (contains(id)) return;
+  shards_.insert(std::lower_bound(shards_.begin(), shards_.end(), id), id);
+  points_.reserve(points_.size() + vnodes_);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    points_.push_back(Point{vnode_hash(id, v), id});
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+void ConsistentHashRing::remove_shard(std::size_t id) {
+  const auto it = std::lower_bound(shards_.begin(), shards_.end(), id);
+  if (it == shards_.end() || *it != id) return;
+  shards_.erase(it);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [id](const Point& p) { return p.shard == id; }),
+                points_.end());
+}
+
+bool ConsistentHashRing::contains(std::size_t id) const {
+  return std::binary_search(shards_.begin(), shards_.end(), id);
+}
+
+std::size_t ConsistentHashRing::first_point_at(std::uint64_t h) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, std::uint64_t v) { return p.hash < v; });
+  // Clockwise wrap: past the last point, ownership falls to the first.
+  return it == points_.end() ? 0 : static_cast<std::size_t>(it - points_.begin());
+}
+
+std::size_t ConsistentHashRing::owner(const std::string& key) const {
+  AHN_CHECK_MSG(!points_.empty(), "consistent-hash ring is empty");
+  return points_[first_point_at(ring_hash(key))].shard;
+}
+
+std::vector<std::size_t> ConsistentHashRing::owners(const std::string& key,
+                                                    std::size_t replicas) const {
+  AHN_CHECK_MSG(!points_.empty(), "consistent-hash ring is empty");
+  const std::size_t want = std::min(replicas, shards_.size());
+  std::vector<std::size_t> out;
+  out.reserve(want);
+  std::size_t i = first_point_at(ring_hash(key));
+  for (std::size_t steps = 0; out.size() < want && steps < points_.size(); ++steps) {
+    const std::size_t shard = points_[(i + steps) % points_.size()].shard;
+    if (std::find(out.begin(), out.end(), shard) == out.end()) out.push_back(shard);
+  }
+  return out;
+}
+
+ShardRouter::ShardRouter(std::size_t shards, std::size_t replicas, std::size_t vnodes)
+    : replicas_(std::max<std::size_t>(replicas, 1)),
+      ring_(shards, vnodes),
+      alive_(shards, true) {
+  AHN_CHECK_MSG(shards >= 1, "router needs at least one shard");
+}
+
+std::size_t ShardRouter::primary(const std::string& key) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return ring_.owner(key);
+}
+
+std::vector<std::size_t> ShardRouter::owners(const std::string& key) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return ring_.owners(key, replicas_);
+}
+
+std::size_t ShardRouter::route(const std::string& key) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  for (const std::size_t s : ring_.owners(key, replicas_)) {
+    if (alive_[s]) return s;
+  }
+  return kNoShard;
+}
+
+std::vector<std::size_t> ShardRouter::alive_owners(const std::string& key) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::size_t> out;
+  for (const std::size_t s : ring_.owners(key, replicas_)) {
+    if (alive_[s]) out.push_back(s);
+  }
+  return out;
+}
+
+void ShardRouter::set_alive(std::size_t shard, bool alive) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  AHN_CHECK_MSG(shard < alive_.size(), "no shard " << shard);
+  alive_[shard] = alive;
+}
+
+bool ShardRouter::alive(std::size_t shard) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  AHN_CHECK_MSG(shard < alive_.size(), "no shard " << shard);
+  return alive_[shard];
+}
+
+std::size_t ShardRouter::alive_count() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<std::size_t>(std::count(alive_.begin(), alive_.end(), true));
+}
+
+std::size_t ShardRouter::shard_count() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  return ring_.shard_count();
+}
+
+}  // namespace ahn::runtime

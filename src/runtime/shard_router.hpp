@@ -1,0 +1,126 @@
+#pragma once
+// Consistent-hash request routing for the multi-shard serving layer
+// (docs/SHARDING.md). Two pieces:
+//
+//  * ConsistentHashRing — classic virtual-node consistent hashing: every
+//    shard owns `vnodes` pseudo-random points on a 64-bit ring (ring_hash of
+//    "shard-<id>#<vnode>"), and a key is owned by the first shard point at
+//    or clockwise of the key's hash. Adding or removing one shard therefore
+//    migrates only ~1/N of the key space (the slices adjacent to the
+//    added/removed points) — keys that move on an add all move TO the new
+//    shard, and keys not owned by a removed shard keep their owner exactly.
+//    The ring also enumerates replica owners: the next r *distinct* shards
+//    clockwise, which is what gives every key a stable replica set.
+//
+//  * ShardRouter — the ring plus per-shard liveness: `route` resolves a key
+//    to its first *alive* owner (primary first, then replicas in ring
+//    order), which is the failover rule the ClusterOrchestrator builds on.
+//    Liveness flips are O(1) and do not touch the ring, so a dead shard's
+//    keys fail over without migrating anyone else's.
+//
+// The hash is explicit (FNV-1a + a fixed avalanche finalizer, not
+// std::hash) so placement is identical across builds, platforms, and
+// standard libraries — a key's owner is part of the documented contract,
+// and the stability tests pin it.
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ahn::runtime {
+
+/// 64-bit FNV-1a. Exposed for tests and for callers that want to pre-shard
+/// keys themselves.
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& key) noexcept;
+
+/// The ring's placement hash: FNV-1a pushed through a murmur3-style 64-bit
+/// avalanche finalizer. Plain FNV-1a barely mixes the last byte into the
+/// high bits, so sequential keys ("key/17", "key/18", ...) land within a
+/// ~2^40 band and pile onto one ring slice; the finalizer restores uniform
+/// spread while keeping placement a fixed cross-build contract.
+[[nodiscard]] std::uint64_t ring_hash(const std::string& key) noexcept;
+
+/// Virtual-node consistent-hash ring over shard ids [0, N). Not internally
+/// synchronized: ShardRouter (and tests) mutate it only at topology changes,
+/// under their own lock.
+class ConsistentHashRing {
+ public:
+  static constexpr std::size_t kDefaultVnodes = 64;
+
+  explicit ConsistentHashRing(std::size_t shards = 0,
+                              std::size_t vnodes = kDefaultVnodes);
+
+  /// Adds shard `id`'s vnodes to the ring (no-op if already present).
+  void add_shard(std::size_t id);
+  /// Removes shard `id`'s vnodes (no-op if absent).
+  void remove_shard(std::size_t id);
+  [[nodiscard]] bool contains(std::size_t id) const;
+
+  /// The shard owning `key`. Ring must be non-empty.
+  [[nodiscard]] std::size_t owner(const std::string& key) const;
+
+  /// The first min(replicas, shard_count) distinct shards clockwise from
+  /// `key`'s point: owners[0] is the primary, the rest are the replica set
+  /// in failover order.
+  [[nodiscard]] std::vector<std::size_t> owners(const std::string& key,
+                                                std::size_t replicas) const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t vnodes_per_shard() const noexcept { return vnodes_; }
+  [[nodiscard]] const std::vector<std::size_t>& shards() const noexcept {
+    return shards_;
+  }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t shard;
+  };
+
+  /// Index into points_ of the first point at or clockwise of `h`.
+  [[nodiscard]] std::size_t first_point_at(std::uint64_t h) const;
+
+  std::size_t vnodes_;
+  std::vector<std::size_t> shards_;  ///< member shard ids, sorted
+  std::vector<Point> points_;        ///< sorted by hash (ties: by shard)
+};
+
+/// The ring plus per-shard liveness and failover resolution. Thread-safe:
+/// route/owners take a shared lock, liveness flips and topology changes take
+/// an exclusive one — routing never blocks routing.
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t shards, std::size_t replicas = 2,
+                       std::size_t vnodes = ConsistentHashRing::kDefaultVnodes);
+
+  /// Primary owner of `key`, alive or not (the placement, not the route).
+  [[nodiscard]] std::size_t primary(const std::string& key) const;
+
+  /// The replica set of `key` (primary first), alive or not.
+  [[nodiscard]] std::vector<std::size_t> owners(const std::string& key) const;
+
+  /// First *alive* shard in `key`'s replica set; nullopt-like sentinel
+  /// kNoShard when the whole replica set is dead.
+  static constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t route(const std::string& key) const;
+
+  /// Alive owners of `key` in failover order (possibly empty).
+  [[nodiscard]] std::vector<std::size_t> alive_owners(const std::string& key) const;
+
+  void set_alive(std::size_t shard, bool alive);
+  [[nodiscard]] bool alive(std::size_t shard) const;
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] std::size_t replicas() const noexcept { return replicas_; }
+
+ private:
+  const std::size_t replicas_;
+  mutable std::shared_mutex mu_;
+  ConsistentHashRing ring_;
+  std::vector<bool> alive_;
+};
+
+}  // namespace ahn::runtime

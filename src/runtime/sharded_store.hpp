@@ -18,6 +18,8 @@
 
 namespace ahn::runtime {
 
+/// Thread-safety: fully thread-safe — keys hash to independently locked
+/// shards, and values are copied in/out so no reference escapes a lock.
 class ShardedTensorStore {
  public:
   static constexpr std::size_t kDefaultShards = 16;

@@ -16,6 +16,8 @@
 
 namespace ahn::runtime {
 
+/// Thread-safety: fully thread-safe — submit may race from any thread;
+/// destruction joins workers after draining already-accepted work.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t threads);

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown.
+
+Scans README.md plus every file under docs/ (and the other top-level *.md)
+for markdown links and inline `path` references to repo files, resolves
+them relative to the containing file, and exits non-zero listing every
+target that does not exist. External (http/https/mailto) and pure-anchor
+links are ignored; `#fragment` suffixes on relative links are stripped.
+
+Usage: python3 tools/check_doc_links.py [repo_root]
+"""
+
+import glob
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files(root):
+    files = sorted(glob.glob(os.path.join(root, "*.md")))
+    files += sorted(glob.glob(os.path.join(root, "docs", "**", "*.md"), recursive=True))
+    return files
+
+
+def check_file(path, root):
+    broken = []
+    text = open(path, encoding="utf-8").read()
+    for target in LINK_RE.findall(text):
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), rel))
+        if not os.path.exists(resolved):
+            broken.append((target, resolved))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    files = md_files(root)
+    if not files:
+        print("check_doc_links: no markdown files found under", root)
+        return 1
+    failures = 0
+    for path in files:
+        for target, resolved in check_file(path, root):
+            print(f"{path}: broken link '{target}' -> {resolved}")
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"check_doc_links: {failures} broken link(s) across {checked} files")
+        return 1
+    print(f"check_doc_links: {checked} markdown files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
