@@ -262,6 +262,17 @@ void RateTrend::record_window(bool event) noexcept {
   ring_next_ = (ring_next_ + 1) % cap;
 }
 
+void RateTrend::reset() noexcept {
+  ewma_.store(0.0, std::memory_order_relaxed);
+  seeded_.store(false, std::memory_order_relaxed);
+  total_.store(0, std::memory_order_relaxed);
+  events_.store(0, std::memory_order_relaxed);
+  std::fill(ring_.begin(), ring_.end(), false);
+  ring_next_ = 0;
+  ring_count_.store(0, std::memory_order_relaxed);
+  ring_events_.store(0, std::memory_order_relaxed);
+}
+
 double RateTrend::window_rate() const noexcept {
   const std::size_t n = ring_count_.load(std::memory_order_relaxed);
   if (n == 0) return 0.0;
@@ -281,6 +292,12 @@ void AlertSink::set_callback(Callback cb) {
   callback_ = std::move(cb);
 }
 
+void AlertSink::add_callback(Callback cb) {
+  if (!cb) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  extra_callbacks_.push_back(std::move(cb));
+}
+
 void AlertSink::raise(Alert alert) {
   alert.sequence = raised_.fetch_add(1, std::memory_order_relaxed) + 1;
   by_kind_[static_cast<std::size_t>(alert.kind)].fetch_add(
@@ -290,6 +307,7 @@ void AlertSink::raise(Alert alert) {
                            << " threshold=" << alert.threshold << " "
                            << alert.message);
   Callback cb;
+  std::vector<Callback> extras;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (ring_.size() < capacity_) {
@@ -299,10 +317,12 @@ void AlertSink::raise(Alert alert) {
       ring_next_ = (ring_next_ + 1) % capacity_;
     }
     cb = callback_;
+    extras = extra_callbacks_;
   }
-  // Outside the sink lock: the callback may export, log, or page — but it
+  // Outside the sink lock: callbacks may export, log, or page — but they
   // must not block for long and must not call back into the raising monitor.
   if (cb) cb(alert);
+  for (const Callback& extra : extras) extra(alert);
 }
 
 std::vector<Alert> AlertSink::recent() const {
@@ -341,6 +361,15 @@ ModelMonitor::ModelMonitor(std::string model, MonitorOptions opts, AlertSink* al
 void ModelMonitor::set_reference(std::shared_ptr<const FeatureSketch> reference) {
   const std::lock_guard<std::mutex> lock(mu_);
   reference_ = std::move(reference);
+  rebaseline_locked();
+}
+
+void ModelMonitor::rebaseline() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  rebaseline_locked();
+}
+
+void ModelMonitor::rebaseline_locked() {
   drift_ = reference_ != nullptr
                ? std::make_unique<DriftDetector>(reference_, opts_.drift)
                : nullptr;
@@ -348,6 +377,11 @@ void ModelMonitor::set_reference(std::shared_ptr<const FeatureSketch> reference)
   drift_score_ = 0.0;
   drift_worst_feature_ = 0;
   drift_active_ = false;
+  // The served model changed (or was re-baselined after a rollout): QoI
+  // evidence against the old weights is void, and both edge-triggers re-arm
+  // so a *second* decay episode alerts again.
+  qoi_active_ = false;
+  qoi_.reset();
 }
 
 bool ModelMonitor::tick_sampler() noexcept {

@@ -179,6 +179,11 @@ class RateTrend {
   /// mutex for sampled rows, so the window is a rate over sampled outcomes).
   void record_window(bool event) noexcept;
 
+  /// Forgets all history (EWMA, totals, window). The atomic pieces reset
+  /// safely against concurrent record(); the window ring is owner-locked
+  /// like record_window. Used when the model behind the trend is replaced.
+  void reset() noexcept;
+
   [[nodiscard]] double ewma() const noexcept {
     return ewma_.load(std::memory_order_relaxed);
   }
@@ -204,13 +209,19 @@ class RateTrend {
   std::atomic<std::size_t> ring_events_{0};
 };
 
-enum class AlertKind { kDriftDetected = 0, kQoiDegraded, kBreakerOpen };
+enum class AlertKind {
+  kDriftDetected = 0,
+  kQoiDegraded,
+  kBreakerOpen,
+  kRolloutRolledBack,
+};
 
 [[nodiscard]] constexpr const char* alert_kind_name(AlertKind k) noexcept {
   switch (k) {
     case AlertKind::kDriftDetected: return "drift_detected";
     case AlertKind::kQoiDegraded: return "qoi_degraded";
     case AlertKind::kBreakerOpen: return "breaker_open";
+    case AlertKind::kRolloutRolledBack: return "rollout_rolled_back";
   }
   return "unknown";
 }
@@ -237,7 +248,12 @@ class AlertSink {
   AlertSink(const AlertSink&) = delete;
   AlertSink& operator=(const AlertSink&) = delete;
 
+  /// Installs (or clears, with an empty function) the primary callback.
   void set_callback(Callback cb);
+  /// Appends an additional subscriber; add_callback subscribers are
+  /// independent of the set_callback slot (a later set_callback does not
+  /// clobber them). Used by background consumers like the Retrainer.
+  void add_callback(Callback cb);
 
   void raise(Alert alert);
 
@@ -254,10 +270,11 @@ class AlertSink {
   const std::size_t capacity_;
   mutable std::mutex mu_;
   Callback callback_;
+  std::vector<Callback> extra_callbacks_;
   std::vector<Alert> ring_;
   std::size_t ring_next_ = 0;
   std::atomic<std::uint64_t> raised_{0};
-  std::array<std::atomic<std::uint64_t>, 3> by_kind_{};
+  std::array<std::atomic<std::uint64_t>, 4> by_kind_{};
 };
 
 struct MonitorOptions {
@@ -315,8 +332,15 @@ class ModelMonitor {
   ModelMonitor& operator=(const ModelMonitor&) = delete;
 
   /// Installs (or replaces) the training-set reference sketch and resets the
-  /// live drift state.
+  /// live drift state, the QoI trend, and both alert edge-triggers: the
+  /// served model changed, so decay evidence against the old one is void and
+  /// a recovered model can alert again on a *second* drift episode.
   void set_reference(std::shared_ptr<const FeatureSketch> reference);
+
+  /// Re-baselines against the reference already installed: fresh
+  /// DriftDetector, cleared QoI trend, re-armed edge-triggers. The promote
+  /// path uses this when the incoming version carries no new sketch.
+  void rebaseline();
 
   /// One served request row + its QoI outcome (the batched serving path).
   /// Lock-free unless this row is sampled.
@@ -337,6 +361,8 @@ class ModelMonitor {
  private:
   /// Samples 1 in opts_.sample_every calls (lock-free decision).
   [[nodiscard]] bool tick_sampler() noexcept;
+  /// Shared body of set_reference()/rebaseline(); caller holds mu_.
+  void rebaseline_locked();
   /// Folds a sampled row into the drift sketch, re-checks the drift/QoI
   /// edge-triggers, and raises any pending alerts after unlocking. Locks.
   void observe_sampled(std::span<const double> row, const bool* qoi_ok);

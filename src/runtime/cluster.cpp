@@ -45,6 +45,7 @@ ClusterOrchestrator::ClusterOrchestrator(ClusterOptions opts)
   for (std::size_t i = 0; i < opts_.shards; ++i) {
     shards_.push_back(
         std::make_shared<Orchestrator>(opts_.device, opts_.shard_opts));
+    wire_shard(*shards_.back());
   }
   set_alive_gauges();
 }
@@ -98,26 +99,85 @@ void ClusterOrchestrator::delete_tensor(const std::string& key) {
   }
 }
 
-// --- replicated model registry ----------------------------------------------
+// --- cluster health plane wiring ---------------------------------------------
+
+void ClusterOrchestrator::wire_shard(Orchestrator& orc) {
+  // `this` outlives every shard (the cluster owns them), so capturing it in
+  // the forwarding callbacks is safe; cluster_alerts_ and the hook slots are
+  // declared before shards_ for exactly this reason.
+  orc.alerts().add_callback(
+      [this](const obs::Alert& alert) { cluster_alerts_.raise(alert); });
+  orc.set_sample_hook([this](const std::string& name, std::span<const double> row,
+                             bool qoi_ok) {
+    if (!hook_set_.load(std::memory_order_acquire)) return;
+    SampleHook hook;
+    {
+      const std::lock_guard<std::mutex> lock(hook_mu_);
+      hook = sample_hook_;
+    }
+    if (hook) hook(name, row, qoi_ok);
+  });
+}
+
+void ClusterOrchestrator::set_sample_hook(SampleHook hook) {
+  const std::lock_guard<std::mutex> lock(hook_mu_);
+  sample_hook_ = std::move(hook);
+  hook_set_.store(static_cast<bool>(sample_hook_), std::memory_order_release);
+}
+
+// --- replicated versioned model registry --------------------------------------
 
 void ClusterOrchestrator::set_model(const std::string& name,
                                     std::shared_ptr<const ServableModel> model) {
   const std::lock_guard<std::mutex> lock(registry_mu_);
-  registry_[name] = ModelRecord{model, nullptr};
+  const std::uint64_t id = registry_.publish(name, model, nullptr, "set_model");
+  registry_.promote(name, id);
   ++registry_version_;
+  // Fan out to every shard, dead ones included: registry state is
+  // replicated, so a drained shard's replacement still needs the version on
+  // revive — and a drained Orchestrator accepts registry mutations.
   for (std::size_t i = 0; i < shard_count(); ++i) {
-    shard_ptr(i)->set_model(name, model);
+    const std::shared_ptr<Orchestrator> orc = shard_ptr(i);
+    orc->install_version(name, model, nullptr, "replicated", id);
+    orc->promote(name, id);
   }
 }
 
 void ClusterOrchestrator::deploy(const DeploymentPackage& pkg) {
   AHN_CHECK_MSG(pkg.model != nullptr, "deployment package has no model");
   const std::lock_guard<std::mutex> lock(registry_mu_);
-  registry_[pkg.name] = ModelRecord{pkg.model, pkg.reference};
+  const std::uint64_t id =
+      registry_.publish(pkg.name, pkg.model, pkg.reference, "deploy");
+  registry_.promote(pkg.name, id);
   ++registry_version_;
   for (std::size_t i = 0; i < shard_count(); ++i) {
-    shard_ptr(i)->deploy(pkg);
+    const std::shared_ptr<Orchestrator> orc = shard_ptr(i);
+    orc->install_version(pkg.name, pkg.model, pkg.reference, "deploy", id);
+    orc->promote(pkg.name, id);
   }
+}
+
+bool ClusterOrchestrator::promote(const std::string& name, std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  if (!registry_.promote(name, id)) return false;
+  ++registry_version_;
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    shard_ptr(i)->promote(name, id);
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> ClusterOrchestrator::rollback(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  const std::optional<ModelVersion> restored = registry_.rollback(name);
+  if (!restored.has_value()) return std::nullopt;
+  ++registry_version_;
+  // Shard promote() is idempotent and syncs every shard to the cluster's
+  // choice regardless of each shard's own prior pointer.
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    shard_ptr(i)->promote(name, restored->id);
+  }
+  return restored->id;
 }
 
 std::uint64_t ClusterOrchestrator::registry_version() const {
@@ -126,11 +186,150 @@ std::uint64_t ClusterOrchestrator::registry_version() const {
 }
 
 std::vector<std::string> ClusterOrchestrator::model_names() const {
+  return registry_.names();
+}
+
+// --- coordinated rollouts (RolloutHost) ---------------------------------------
+
+std::optional<ActiveModelInfo> ClusterOrchestrator::active_model(
+    const std::string& name) const {
+  const std::optional<ModelVersion> ver = registry_.active(name);
+  if (!ver.has_value()) return std::nullopt;
+  return ActiveModelInfo{ver->id, ver->model, ver->reference};
+}
+
+std::uint64_t ClusterOrchestrator::install_candidate(
+    const std::string& name, std::shared_ptr<const ServableModel> model,
+    std::shared_ptr<const obs::FeatureSketch> reference, std::string origin) {
   const std::lock_guard<std::mutex> lock(registry_mu_);
-  std::vector<std::string> names;
-  names.reserve(registry_.size());
-  for (const auto& [name, record] : registry_) names.push_back(name);
-  return names;
+  const std::uint64_t id = registry_.publish(name, model, reference, origin);
+  ++registry_version_;
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    shard_ptr(i)->install_version(name, model, reference, origin, id);
+  }
+  return id;
+}
+
+Status ClusterOrchestrator::begin_rollout(const std::string& name,
+                                          std::uint64_t candidate_version,
+                                          RolloutOptions opts) {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  if (!registry_.version(name, candidate_version).has_value()) {
+    return Status(StatusCode::kNotFound,
+                  "no version " + std::to_string(candidate_version) +
+                      " of model '" + name + "'");
+  }
+  if (const auto it = cluster_rollouts_.find(name);
+      it != cluster_rollouts_.end() && !it->second.concluded) {
+    return Status(StatusCode::kInvalidArgument,
+                  "rollout already in flight for model '" + name + "'");
+  }
+  // This coordinator owns the verdict: shards report PASSED/FAILED and hold
+  // there until conclude_rollout_locked fans the cluster decision back out.
+  opts.auto_finalize = false;
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    const Status st = shard_ptr(i)->begin_rollout(name, candidate_version, opts);
+    if (!st.is_ok()) {
+      for (std::size_t j = 0; j < i; ++j) {
+        shard_ptr(j)->finalize_rollout(name, false, "cluster begin_rollout aborted");
+      }
+      return st;
+    }
+  }
+  ClusterRollout cr;
+  cr.version = candidate_version;
+  cr.opts = std::move(opts);
+  cluster_rollouts_[name] = std::move(cr);
+  return Status::ok();
+}
+
+void ClusterOrchestrator::conclude_rollout_locked(const std::string& name,
+                                                  ClusterRollout& cr,
+                                                  bool promote_candidate,
+                                                  const std::string& reason) {
+  // Every shard (dead ones included — their registries replicate) applies
+  // the same verdict; each shard's rollback alert forwards into
+  // cluster_alerts_ via wire_shard.
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    shard_ptr(i)->finalize_rollout(name, promote_candidate, reason);
+  }
+  if (promote_candidate) {
+    registry_.promote(name, cr.version);
+    ++registry_version_;
+  }
+  // On failure the cluster registry never promoted the candidate, so the
+  // active version is already correct — nothing to undo.
+  cr.concluded = true;
+}
+
+std::optional<RolloutSnapshot> ClusterOrchestrator::rollout_progress(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = cluster_rollouts_.find(name);
+  if (it == cluster_rollouts_.end()) return std::nullopt;
+  ClusterRollout& cr = it->second;
+  if (cr.concluded) return cr.last;
+
+  RolloutSnapshot merged;
+  merged.model = name;
+  merged.candidate_version = cr.version;
+
+  bool any_failed = false;
+  bool all_passed = true;
+  std::size_t alive = 0;
+  // Least-advanced stage across alive shards, for the merged in-flight view.
+  RolloutState least = RolloutState::kPassed;
+  std::string fail_reason;
+
+  for (std::size_t i = 0; i < shard_count(); ++i) {
+    if (!router_.alive(i)) continue;
+    ++alive;
+    // Each per-shard poll also drives that shard's stage-deadline check.
+    const std::optional<RolloutSnapshot> snap =
+        shard_ptr(i)->rollout_progress(name);
+    if (!snap.has_value()) {
+      all_passed = false;
+      continue;
+    }
+    merged.shadow_rows += snap->shadow_rows;
+    merged.shadow_active_miss += snap->shadow_active_miss;
+    merged.shadow_candidate_miss += snap->shadow_candidate_miss;
+    merged.canary_rows += snap->canary_rows;
+    merged.canary_miss += snap->canary_miss;
+    switch (snap->state) {
+      case RolloutState::kFailed:
+      case RolloutState::kRolledBack:
+        any_failed = true;
+        if (fail_reason.empty()) {
+          fail_reason = "shard " + std::to_string(i) + ": " +
+                        (snap->reason.empty() ? "failed" : snap->reason);
+        }
+        break;
+      case RolloutState::kPassed:
+      case RolloutState::kPromoted:
+        break;
+      default:
+        all_passed = false;
+        least = std::min(least, snap->state);
+        break;
+    }
+  }
+
+  if (any_failed) {
+    conclude_rollout_locked(name, cr, /*promote_candidate=*/false, fail_reason);
+    merged.state = RolloutState::kRolledBack;
+    merged.reason = fail_reason;
+    cr.last = std::move(merged);
+    return cr.last;
+  }
+  if (alive > 0 && all_passed) {
+    conclude_rollout_locked(name, cr, /*promote_candidate=*/true, "");
+    merged.state = RolloutState::kPromoted;
+    cr.last = std::move(merged);
+    return cr.last;
+  }
+  merged.state = alive == 0 ? RolloutState::kShadow : least;
+  return merged;
 }
 
 // --- serving ------------------------------------------------------------------
@@ -278,17 +477,27 @@ void ClusterOrchestrator::revive_shard(std::size_t i) {
   {
     // registry_mu_ before shards_mu_ — the same order as the deploy fan-out.
     const std::lock_guard<std::mutex> registry_lock(registry_mu_);
-    for (const auto& [name, record] : registry_) {
-      if (record.reference != nullptr) {
-        DeploymentPackage pkg;
-        pkg.name = name;
-        pkg.model = record.model;
-        pkg.reference = record.reference;
-        fresh->deploy(pkg);
-      } else {
-        fresh->set_model(name, record.model);
+    // Replay every retained version with the cluster's ids, then promote the
+    // cluster's active version — the revived shard reconciles to exactly the
+    // registry_version_ epoch it missed, rollback targets included.
+    for (const std::string& name : registry_.names()) {
+      for (const ModelVersion& v : registry_.versions(name)) {
+        fresh->install_version(name, v.model, v.reference, v.origin, v.id);
+      }
+      if (const std::uint64_t active_id = registry_.active_id(name);
+          active_id != 0) {
+        fresh->promote(name, active_id);
       }
     }
+    // A rollout still in flight resumes on the revived shard (its shadow /
+    // canary counts restart from zero; the merge sums across shards).
+    for (const auto& [name, cr] : cluster_rollouts_) {
+      if (cr.concluded) continue;
+      const Status st = fresh->begin_rollout(name, cr.version, cr.opts);
+      AHN_CHECK_MSG(st.is_ok(), "revive could not resume rollout for '"
+                                    << name << "': " << st.message());
+    }
+    wire_shard(*fresh);
     const std::unique_lock<std::shared_mutex> shards_lock(shards_mu_);
     shards_[i] = std::move(fresh);
   }
@@ -382,6 +591,8 @@ ClusterHealth ClusterOrchestrator::cluster_health() {
       worst = std::max(worst, mh.drift_score);
     }
     h.merged.gauges["cluster.drift_score{model=\"" + name + "\"}"] = worst;
+    h.merged.gauges["cluster.model_version{model=\"" + name + "\"}"] =
+        static_cast<double>(registry_.active_id(name));
     if (worst > h.max_drift_score) {
       h.max_drift_score = worst;
       h.max_drift_model = name;

@@ -7,10 +7,18 @@
 //  * a replicated keyed store: put_tensor writes the key's R-shard replica
 //    set (ShardRouter::owners), get_tensor reads the first alive owner, so
 //    a dead shard's keys stay readable from replicas;
-//  * a replicated model registry with atomic deploy fan-out: set_model /
-//    deploy install the same immutable model (and drift-reference sketch)
-//    on every shard under one cluster registry lock, so any shard can serve
-//    any model and a deploy is never observed half-applied between deploys;
+//  * a replicated *versioned* model registry with atomic deploy fan-out:
+//    set_model / deploy / install_candidate replicate the same immutable
+//    version (same version id, same drift-reference sketch) onto every
+//    shard under one cluster registry lock, so any shard can serve any
+//    model, a deploy is never observed half-applied between deploys, and a
+//    revived shard reconciles to the cluster's registry_version exactly;
+//  * coordinated rollouts (docs/RETRAINING.md): as a RolloutHost the
+//    cluster fans a candidate out to every shard in shadow/canary mode
+//    with auto-finalize off, merges the per-shard verdicts on each
+//    rollout_progress poll, and promotes cluster-wide only when every
+//    alive shard passed — any shard failing rolls the candidate back
+//    everywhere;
 //  * replica failover: requests route to the first alive owner; a shard
 //    that is killed (fail_shard) or announces shutdown is skipped — and a
 //    shard whose per-model QoI breaker is OPEN is deprioritized in favor of
@@ -102,10 +110,10 @@ struct ClusterHealth {
 /// The multi-shard serving frontend. Thread-safe for any mix of concurrent
 /// clients; shards are created at construction and live for the cluster's
 /// lifetime (a failed shard's Orchestrator is only replaced on revive).
-class ClusterOrchestrator {
+class ClusterOrchestrator : public RolloutHost {
  public:
   explicit ClusterOrchestrator(ClusterOptions opts = ClusterOptions{});
-  ~ClusterOrchestrator();
+  ~ClusterOrchestrator() override;
 
   ClusterOrchestrator(const ClusterOrchestrator&) = delete;
   ClusterOrchestrator& operator=(const ClusterOrchestrator&) = delete;
@@ -127,17 +135,50 @@ class ClusterOrchestrator {
   [[nodiscard]] bool has_tensor(const std::string& key) const;
   void delete_tensor(const std::string& key);
 
-  // --- replicated model registry ------------------------------------------
-  /// Installs `model` on every shard (dead ones included — registry state is
-  /// replicated so a revived shard serves immediately) under one cluster
-  /// registry lock; concurrent deploys serialize, so readers never observe
-  /// an interleaving of two fan-outs.
+  // --- replicated versioned model registry --------------------------------
+  /// Publishes `model` as a new version and promotes it on every shard
+  /// (dead ones included — registry state is replicated so a revived shard
+  /// serves immediately) under one cluster registry lock; concurrent
+  /// deploys serialize, so readers never observe an interleaving of two
+  /// fan-outs. Shards adopt the cluster's version id verbatim.
   void set_model(const std::string& name, std::shared_ptr<const ServableModel> model);
   /// set_model plus the drift-reference fan-out (every shard's ModelMonitor
   /// gets the same training-set sketch).
   void deploy(const DeploymentPackage& pkg);
+  /// The cluster's source-of-truth registry (version ids shards replicate).
+  [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+  /// Cluster-wide atomic promote/rollback: flips the active version in the
+  /// cluster registry and fans the same flip out to every shard.
+  bool promote(const std::string& name, std::uint64_t id);
+  std::optional<std::uint64_t> rollback(const std::string& name);
+  /// Monotone fan-out epoch: bumped by every registry mutation
+  /// (set_model / deploy / install_candidate / promote / rollback), the
+  /// value revive_shard reconciles a rebuilt shard against.
   [[nodiscard]] std::uint64_t registry_version() const;
   [[nodiscard]] std::vector<std::string> model_names() const;
+
+  // --- coordinated rollouts (RolloutHost) ----------------------------------
+  /// The cluster registry's active version of `name`.
+  [[nodiscard]] std::optional<ActiveModelInfo> active_model(
+      const std::string& name) const override;
+  /// Publishes a candidate version cluster-wide (same id everywhere)
+  /// without promoting it.
+  std::uint64_t install_candidate(
+      const std::string& name, std::shared_ptr<const ServableModel> model,
+      std::shared_ptr<const obs::FeatureSketch> reference, std::string origin) override;
+  /// Starts the candidate shadowing live traffic on every shard
+  /// (auto-finalize forced off: this coordinator owns the verdict).
+  Status begin_rollout(const std::string& name, std::uint64_t candidate_version,
+                       RolloutOptions opts) override;
+  /// Merges the per-shard rollout snapshots (summed counts, least-advanced
+  /// stage) and applies the cluster verdict: every alive shard PASSED =>
+  /// promote everywhere; any shard FAILED => roll back everywhere. Each
+  /// call also drives the shards' stage-deadline checks.
+  std::optional<RolloutSnapshot> rollout_progress(const std::string& name) override;
+  /// Cluster-merged alert stream: every shard's AlertSink forwards here.
+  [[nodiscard]] obs::AlertSink& alert_sink() override { return cluster_alerts_; }
+  /// Observer fed by every shard's served rows (the Retrainer's reservoir).
+  void set_sample_hook(SampleHook hook) override;
 
   // --- serving -------------------------------------------------------------
   /// Keyed-store inference routed by `in_key`: executes on the first alive
@@ -188,10 +229,24 @@ class ClusterOrchestrator {
   [[nodiscard]] const ClusterOptions& options() const noexcept { return opts_; }
 
  private:
-  struct ModelRecord {
-    std::shared_ptr<const ServableModel> model;
-    std::shared_ptr<const obs::FeatureSketch> reference;  ///< may be null
+  /// One coordinated rollout's cluster-side bookkeeping (guarded by
+  /// registry_mu_). `last` keeps the final merged snapshot after the
+  /// verdict so rollout_progress outlives conclusion.
+  struct ClusterRollout {
+    std::uint64_t version = 0;
+    RolloutOptions opts;
+    bool concluded = false;
+    RolloutSnapshot last;
   };
+
+  /// Wires a shard into the cluster-level health plane: alert forwarding
+  /// into cluster_alerts_ and the sample-hook relay.
+  void wire_shard(Orchestrator& orc);
+
+  /// Applies the cluster verdict for `name` to every shard and the cluster
+  /// registry. Caller holds registry_mu_.
+  void conclude_rollout_locked(const std::string& name, ClusterRollout& cr,
+                               bool promote_candidate, const std::string& reason);
 
   /// Submits to the candidate shards in order, transparently resubmitting
   /// when a submit comes back immediately-ready with kShuttingDown (the
@@ -213,11 +268,18 @@ class ClusterOrchestrator {
 
   ClusterOptions opts_;
   ShardRouter router_;
+  // cluster_alerts_ and the hook slots are declared before shards_: shard
+  // callbacks raise into / read them, so they must outlive the shards.
+  obs::AlertSink cluster_alerts_;
+  mutable std::mutex hook_mu_;
+  SampleHook sample_hook_;
+  std::atomic<bool> hook_set_{false};
   std::vector<std::shared_ptr<Orchestrator>> shards_;
   mutable std::shared_mutex shards_mu_;  ///< guards the shard pointers (revive swaps)
 
-  mutable std::mutex registry_mu_;  ///< serializes deploy fan-outs
-  std::map<std::string, ModelRecord> registry_;
+  mutable std::mutex registry_mu_;  ///< serializes fan-outs + rollout verdicts
+  ModelRegistry registry_;          ///< cluster source of truth (version ids)
+  std::map<std::string, ClusterRollout> cluster_rollouts_;
   std::uint64_t registry_version_ = 0;
 
   std::atomic<std::uint64_t> rr_{0};  ///< round-robin cursor (batched path)

@@ -1,0 +1,160 @@
+#include "runtime/model_registry.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace ahn::runtime {
+
+namespace {
+
+std::vector<ModelVersion>::iterator find_version(std::vector<ModelVersion>& v,
+                                                 std::uint64_t id) {
+  return std::find_if(v.begin(), v.end(),
+                      [id](const ModelVersion& mv) { return mv.id == id; });
+}
+
+std::vector<ModelVersion>::const_iterator find_version(
+    const std::vector<ModelVersion>& v, std::uint64_t id) {
+  return std::find_if(v.begin(), v.end(),
+                      [id](const ModelVersion& mv) { return mv.id == id; });
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(RegistryOptions opts) : opts_(opts) {}
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     std::shared_ptr<const ServableModel> model,
+                                     std::shared_ptr<const obs::FeatureSketch> reference,
+                                     std::string origin, std::uint64_t explicit_id) {
+  AHN_CHECK_MSG(model != nullptr, "publish(" << name << "): null model");
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  Entry& e = entries_[name];
+
+  std::uint64_t id = explicit_id;
+  if (id == 0) {
+    id = e.next;
+  } else {
+    AHN_CHECK_MSG(find_version(e.versions, id) == e.versions.end(),
+                  "publish(" << name << "): version " << id
+                             << " already retained");
+  }
+  e.next = std::max(e.next, id + 1);
+
+  ModelVersion mv;
+  mv.id = id;
+  mv.model = std::move(model);
+  mv.reference = std::move(reference);
+  mv.origin = std::move(origin);
+  // Keep the vector ascending by id (explicit ids may arrive out of order
+  // during a revive replay).
+  const auto pos = std::find_if(e.versions.begin(), e.versions.end(),
+                                [id](const ModelVersion& v) { return v.id > id; });
+  e.versions.insert(pos, std::move(mv));
+  evict_locked(e, id);
+  return id;
+}
+
+bool ModelRegistry::promote(const std::string& name, std::uint64_t id) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  Entry& e = it->second;
+  if (find_version(e.versions, id) == e.versions.end()) return false;
+  if (e.active == id) return true;
+  e.prior = e.active;
+  e.active = id;
+  return true;
+}
+
+std::optional<ModelVersion> ModelRegistry::rollback(const std::string& name) {
+  const std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  Entry& e = it->second;
+  if (e.prior == 0) return std::nullopt;
+  const auto vit = find_version(e.versions, e.prior);
+  if (vit == e.versions.end()) return std::nullopt;  // evicted (shouldn't happen)
+  std::swap(e.active, e.prior);
+  return *vit;
+}
+
+std::optional<ModelVersion> ModelRegistry::active(const std::string& name) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.active == 0) return std::nullopt;
+  const auto vit = find_version(it->second.versions, it->second.active);
+  if (vit == it->second.versions.end()) return std::nullopt;
+  return *vit;
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::active_model(
+    const std::string& name) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.active == 0) return nullptr;
+  const auto vit = find_version(it->second.versions, it->second.active);
+  return vit == it->second.versions.end() ? nullptr : vit->model;
+}
+
+std::uint64_t ModelRegistry::active_id(const std::string& name) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.active;
+}
+
+std::optional<ModelVersion> ModelRegistry::version(const std::string& name,
+                                                   std::uint64_t id) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  const auto vit = find_version(it->second.versions, id);
+  if (vit == it->second.versions.end()) return std::nullopt;
+  return *vit;
+}
+
+std::vector<ModelVersion> ModelRegistry::versions(const std::string& name) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return {};
+  return it->second.versions;
+}
+
+std::optional<RegistryEntrySnapshot> ModelRegistry::snapshot(
+    const std::string& name) const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  RegistryEntrySnapshot s;
+  s.name = name;
+  s.active = it->second.active;
+  s.prior = it->second.prior;
+  s.retained.reserve(it->second.versions.size());
+  for (const ModelVersion& v : it->second.versions) s.retained.push_back(v.id);
+  return s;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  const std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ModelRegistry::evict_locked(Entry& e, std::uint64_t keep) {
+  const std::size_t retain = std::max<std::size_t>(2, opts_.retain);
+  for (auto it = e.versions.begin();
+       e.versions.size() > retain && it != e.versions.end();) {
+    if (it->id == e.active || it->id == e.prior || it->id == keep) {
+      ++it;
+    } else {
+      it = e.versions.erase(it);  // ascending order ⇒ oldest evictable first
+    }
+  }
+}
+
+}  // namespace ahn::runtime

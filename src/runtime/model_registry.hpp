@@ -1,0 +1,128 @@
+#pragma once
+// Versioned model registry (docs/RETRAINING.md): the serving-side source of
+// truth for which weights answer requests under each model name. Every
+// publish() mints (or adopts) a monotone version id; promote()/rollback()
+// atomically flip which version is active while retaining up to
+// RegistryOptions::retain versions per name, so a bad promotion is undone in
+// O(1) without re-training or re-deploying anything.
+//
+// The registry deliberately knows nothing about *how* versions are chosen —
+// shadow/canary evaluation lives in rollout.hpp, retraining in
+// retrainer.hpp. It only guarantees: ids are monotone per name, the active
+// flip is atomic, the prior version survives eviction (rollback is always
+// possible), and lookups are cheap (shared_mutex, read-mostly).
+//
+// Thread-safety: fully thread-safe; one shared_mutex guards the name map.
+// Serving paths take it shared per lookup; publish/promote/rollback are
+// exclusive and O(versions-per-name).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ahn::obs {
+class FeatureSketch;
+}  // namespace ahn::obs
+
+namespace ahn::runtime {
+
+struct ServableModel;  // runtime/orchestrator.hpp
+
+/// One immutable retained version of a served model: the weights, the
+/// training-set reference sketch drift detection scores against, and a
+/// human-readable origin tag ("deploy", "retrain", "replicated", ...).
+struct ModelVersion {
+  std::uint64_t id = 0;  ///< monotone per name; 0 = invalid/none
+  std::shared_ptr<const ServableModel> model;
+  std::shared_ptr<const obs::FeatureSketch> reference;  ///< may be null
+  std::string origin;
+};
+
+struct RegistryOptions {
+  /// Versions retained per name. Eviction drops the oldest id that is
+  /// neither active nor the rollback target; the floor of 2 keeps
+  /// rollback always possible.
+  std::size_t retain = 4;
+};
+
+/// Point-in-time view of one name's version bookkeeping.
+struct RegistryEntrySnapshot {
+  std::string name;
+  std::uint64_t active = 0;           ///< 0 = nothing promoted yet
+  std::uint64_t prior = 0;            ///< rollback target (0 = none)
+  std::vector<std::uint64_t> retained;  ///< ascending ids currently held
+};
+
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(RegistryOptions opts = RegistryOptions{});
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Registers a new version of `name` and returns its id. With
+  /// `explicit_id` = 0 the registry mints the next monotone id; a non-zero
+  /// `explicit_id` adopts that id verbatim (cluster fan-out replicates the
+  /// coordinator's ids onto shards) and future minted ids stay above it.
+  /// Publishing does NOT change which version serves — promote() does.
+  /// Throws ahn::Error on a duplicate explicit id or a null model.
+  std::uint64_t publish(const std::string& name,
+                        std::shared_ptr<const ServableModel> model,
+                        std::shared_ptr<const obs::FeatureSketch> reference,
+                        std::string origin, std::uint64_t explicit_id = 0);
+
+  /// Atomically makes version `id` of `name` the serving version; the
+  /// previously active version becomes the rollback target. Returns false
+  /// (and changes nothing) if the name or id is unknown. Promoting the
+  /// already-active id is a no-op that still returns true.
+  bool promote(const std::string& name, std::uint64_t id);
+
+  /// Atomically swaps the active version back to the rollback target.
+  /// Returns the version now serving, or nullopt if there is no prior
+  /// version to roll back to.
+  std::optional<ModelVersion> rollback(const std::string& name);
+
+  /// The currently serving version of `name` (nullopt: unknown name or
+  /// nothing promoted yet).
+  [[nodiscard]] std::optional<ModelVersion> active(const std::string& name) const;
+  /// The active version's model only — the serving hot path's lookup (one
+  /// shared_ptr copy, no origin-string copy).
+  [[nodiscard]] std::shared_ptr<const ServableModel> active_model(
+      const std::string& name) const;
+  /// Serving version id (0 = none). Cheaper than active() for gauges.
+  [[nodiscard]] std::uint64_t active_id(const std::string& name) const;
+
+  /// A specific retained version (nullopt: unknown or evicted).
+  [[nodiscard]] std::optional<ModelVersion> version(const std::string& name,
+                                                    std::uint64_t id) const;
+
+  /// All retained versions of `name`, ascending by id.
+  [[nodiscard]] std::vector<ModelVersion> versions(const std::string& name) const;
+
+  [[nodiscard]] std::optional<RegistryEntrySnapshot> snapshot(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] const RegistryOptions& options() const noexcept { return opts_; }
+
+ private:
+  struct Entry {
+    std::uint64_t next = 1;    ///< next id to mint
+    std::uint64_t active = 0;  ///< 0 = none promoted
+    std::uint64_t prior = 0;   ///< rollback target
+    std::vector<ModelVersion> versions;  ///< ascending by id
+  };
+
+  /// Drops the oldest versions beyond opts_.retain, never evicting the
+  /// active version, the rollback target, or `keep`.
+  void evict_locked(Entry& e, std::uint64_t keep);
+
+  const RegistryOptions opts_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace ahn::runtime

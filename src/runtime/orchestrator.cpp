@@ -50,14 +50,16 @@ void Orchestrator::delete_tensor(const std::string& key) {
 void Orchestrator::set_model(const std::string& name,
                              std::shared_ptr<const ServableModel> model) {
   AHN_CHECK(model != nullptr);
-  const std::unique_lock<std::shared_mutex> lock(models_mu_);
-  models_[name] = std::move(model);
+  const std::uint64_t id =
+      registry_.publish(name, std::move(model), nullptr, "set_model");
+  promote(name, id);
 }
 
 void Orchestrator::deploy(const DeploymentPackage& pkg) {
   AHN_CHECK_MSG(pkg.model != nullptr, "deployment package has no model");
-  set_model(pkg.name, pkg.model);
-  monitor(pkg.name).set_reference(pkg.reference);
+  const std::uint64_t id =
+      registry_.publish(pkg.name, pkg.model, pkg.reference, "deploy");
+  promote(pkg.name, id);
 }
 
 std::shared_ptr<const ServableModel> Orchestrator::model(const std::string& name) const {
@@ -68,9 +70,203 @@ std::shared_ptr<const ServableModel> Orchestrator::model(const std::string& name
 
 std::shared_ptr<const ServableModel> Orchestrator::find_model(
     const std::string& name) const {
-  const std::shared_lock<std::shared_mutex> lock(models_mu_);
-  const auto it = models_.find(name);
-  return it == models_.end() ? nullptr : it->second;
+  return registry_.active_model(name);
+}
+
+bool Orchestrator::promote(const std::string& name, std::uint64_t id) {
+  const std::optional<ModelVersion> ver = registry_.version(name, id);
+  if (!ver.has_value() || !registry_.promote(name, id)) return false;
+  if (opts_.monitor.enabled) {
+    // Re-baseline decay detection for the newly serving weights: install
+    // the version's own reference sketch when it carries one, otherwise
+    // re-arm against the existing reference. Either way both edge-triggers
+    // reset, so a recovered model can alert on a *second* drift episode.
+    obs::ModelMonitor& mon = monitor(name);
+    if (ver->reference != nullptr) {
+      mon.set_reference(ver->reference);
+    } else {
+      mon.rebaseline();
+    }
+  }
+  stats_.metrics()
+      .gauge("serving.model_version{model=\"" + name + "\"}")
+      .set(static_cast<double>(id));
+  return true;
+}
+
+std::optional<std::uint64_t> Orchestrator::rollback(const std::string& name) {
+  const std::optional<ModelVersion> ver = registry_.rollback(name);
+  if (!ver.has_value()) return std::nullopt;
+  if (opts_.monitor.enabled) {
+    obs::ModelMonitor& mon = monitor(name);
+    if (ver->reference != nullptr) {
+      mon.set_reference(ver->reference);
+    } else {
+      mon.rebaseline();
+    }
+  }
+  stats_.metrics()
+      .gauge("serving.model_version{model=\"" + name + "\"}")
+      .set(static_cast<double>(ver->id));
+  return ver->id;
+}
+
+std::optional<ActiveModelInfo> Orchestrator::active_model(
+    const std::string& name) const {
+  std::optional<ModelVersion> v = registry_.active(name);
+  if (!v.has_value()) return std::nullopt;
+  ActiveModelInfo info;
+  info.version = v->id;
+  info.model = std::move(v->model);
+  info.reference = std::move(v->reference);
+  return info;
+}
+
+std::uint64_t Orchestrator::install_candidate(
+    const std::string& name, std::shared_ptr<const ServableModel> model,
+    std::shared_ptr<const obs::FeatureSketch> reference, std::string origin) {
+  return registry_.publish(name, std::move(model), std::move(reference),
+                           std::move(origin));
+}
+
+std::uint64_t Orchestrator::install_version(
+    const std::string& name, std::shared_ptr<const ServableModel> model,
+    std::shared_ptr<const obs::FeatureSketch> reference, std::string origin,
+    std::uint64_t explicit_id) {
+  return registry_.publish(name, std::move(model), std::move(reference),
+                           std::move(origin), explicit_id);
+}
+
+Status Orchestrator::begin_rollout(const std::string& name,
+                                   std::uint64_t candidate_version,
+                                   RolloutOptions opts) {
+  const std::optional<ModelVersion> cand = registry_.version(name, candidate_version);
+  if (!cand.has_value()) {
+    return Status(StatusCode::kNotFound,
+                  "no retained version " + std::to_string(candidate_version) +
+                      " of model '" + name + "'");
+  }
+  const std::uint64_t active = registry_.active_id(name);
+  if (active == 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no active version of '" + name + "' to shadow against");
+  }
+  if (active == candidate_version) {
+    return Status(StatusCode::kInvalidArgument,
+                  "candidate is already the active version of '" + name + "'");
+  }
+
+  auto ro = std::make_shared<ActiveRollout>(name, candidate_version, cand->model,
+                                            std::move(opts));
+  obs::MetricsRegistry& mx = stats_.metrics();
+  const std::string lbl = "{model=\"" + name + "\"}";
+  ro->shadow_rows = &mx.counter("serving.shadow.rows" + lbl);
+  ro->shadow_active_miss = &mx.counter("serving.shadow.active_qoi_miss" + lbl);
+  ro->shadow_candidate_miss = &mx.counter("serving.shadow.candidate_qoi_miss" + lbl);
+  ro->canary_rows = &mx.counter("serving.canary.rows" + lbl);
+  ro->canary_miss = &mx.counter("serving.canary.qoi_miss" + lbl);
+  {
+    const std::unique_lock<std::shared_mutex> lock(rollouts_mu_);
+    if (rollouts_.find(name) != rollouts_.end()) {
+      return Status(StatusCode::kInvalidArgument,
+                    "a rollout is already in flight for '" + name + "'");
+    }
+    rollouts_.emplace(name, std::move(ro));
+    rollouts_live_.fetch_add(1, std::memory_order_release);
+  }
+  mx.gauge("serving.rollout_state" + lbl)
+      .set(static_cast<double>(RolloutState::kShadow));
+  return Status::ok();
+}
+
+std::shared_ptr<Orchestrator::ActiveRollout> Orchestrator::find_rollout(
+    const std::string& name) {
+  if (rollouts_live_.load(std::memory_order_acquire) == 0) return nullptr;
+  const std::shared_lock<std::shared_mutex> lock(rollouts_mu_);
+  const auto it = rollouts_.find(name);
+  return it == rollouts_.end() ? nullptr : it->second;
+}
+
+void Orchestrator::clear_rollout(const std::string& name, const ActiveRollout& ro) {
+  const RolloutSnapshot snap = ro.ctl.snapshot();
+  {
+    const std::unique_lock<std::shared_mutex> lock(rollouts_mu_);
+    const auto it = rollouts_.find(name);
+    if (it == rollouts_.end() || it->second.get() != &ro) return;
+    last_rollouts_[name] = snap;
+    rollouts_.erase(it);
+    rollouts_live_.fetch_sub(1, std::memory_order_release);
+  }
+  stats_.metrics()
+      .gauge("serving.rollout_state{model=\"" + name + "\"}")
+      .set(static_cast<double>(snap.state));
+}
+
+void Orchestrator::maybe_conclude_rollout(const std::string& name,
+                                          ActiveRollout& ro) {
+  if (!ro.ctl.options().auto_finalize) return;
+  const RolloutState st = ro.ctl.state();
+  if (st == RolloutState::kPassed) {
+    conclude_rollout(name, ro, /*promote_candidate=*/true, "");
+  } else if (st == RolloutState::kFailed) {
+    conclude_rollout(name, ro, /*promote_candidate=*/false, "");
+  }
+}
+
+void Orchestrator::conclude_rollout(const std::string& name, ActiveRollout& ro,
+                                    bool promote_candidate, const std::string& reason) {
+  if (promote_candidate) {
+    ro.ctl.mark_promoted();
+    promote(name, ro.version);
+    stats_.metrics()
+        .counter("serving.rollout.promotions{model=\"" + name + "\"}")
+        .increment();
+  } else {
+    // The candidate never became the active version — discarding it leaves
+    // the prior weights serving, which *is* the rollback (§7.1's safety
+    // property extended to deployments).
+    ro.ctl.mark_rolled_back(reason);
+    stats_.metrics()
+        .counter("serving.rollout.rollbacks{model=\"" + name + "\"}")
+        .increment();
+    obs::Alert a;
+    a.kind = obs::AlertKind::kRolloutRolledBack;
+    a.model = name;
+    a.value = static_cast<double>(ro.version);
+    a.message = "candidate v" + std::to_string(ro.version) +
+                " rolled back: " + ro.ctl.snapshot().reason;
+    alerts_.raise(a);
+  }
+  clear_rollout(name, ro);
+}
+
+void Orchestrator::finalize_rollout(const std::string& name, bool promote_candidate,
+                                    const std::string& reason) {
+  const std::shared_ptr<ActiveRollout> ro = find_rollout(name);
+  if (ro != nullptr) conclude_rollout(name, *ro, promote_candidate, reason);
+}
+
+std::optional<RolloutSnapshot> Orchestrator::rollout_progress(const std::string& name) {
+  const std::shared_ptr<ActiveRollout> ro = find_rollout(name);
+  if (ro == nullptr) {
+    const std::shared_lock<std::shared_mutex> lock(rollouts_mu_);
+    const auto it = last_rollouts_.find(name);
+    if (it == last_rollouts_.end()) return std::nullopt;
+    return it->second;
+  }
+  ro->ctl.poll();  // stage-deadline check rides on every progress poll
+  maybe_conclude_rollout(name, *ro);
+  const RolloutSnapshot snap = ro->ctl.snapshot();
+  stats_.metrics()
+      .gauge("serving.rollout_state{model=\"" + name + "\"}")
+      .set(static_cast<double>(snap.state));
+  return snap;
+}
+
+void Orchestrator::set_sample_hook(SampleHook hook) {
+  const std::lock_guard<std::mutex> lock(hook_mu_);
+  sample_hook_ = std::move(hook);
+  hook_set_.store(static_cast<bool>(sample_hook_), std::memory_order_release);
 }
 
 void Orchestrator::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
@@ -97,12 +293,20 @@ CircuitBreaker& Orchestrator::breaker(const std::string& name) {
     state_gauge.set(0.0);
     obs::ModelMonitor* mon = opts_.monitor.enabled ? &monitor(name) : nullptr;
     const double trip_threshold = bopts.trip_threshold;
-    bopts.on_transition = [&state_gauge, mon, trip_threshold](
+    bopts.on_transition = [this, &state_gauge, mon, trip_threshold, name](
                               BreakerState /*from*/, BreakerState to,
                               double window_fallback_rate) {
       state_gauge.set(static_cast<double>(to));
-      if (to == BreakerState::kOpen && mon != nullptr) {
-        mon->record_breaker_open(window_fallback_rate, trip_threshold);
+      if (to == BreakerState::kOpen) {
+        if (mon != nullptr) {
+          mon->record_breaker_open(window_fallback_rate, trip_threshold);
+        }
+        // A trip mid-rollout fails the candidate immediately, whatever the
+        // stage (lock order: breaker mutex -> rollouts_mu_ shared ->
+        // controller mutex; nothing here calls back into the breaker).
+        if (const std::shared_ptr<ActiveRollout> ro = find_rollout(name)) {
+          ro->ctl.note_breaker_trip();
+        }
       }
     };
     b = std::make_unique<CircuitBreaker>(std::move(bopts), &stats_);
@@ -359,13 +563,20 @@ std::future<Result<Tensor>> Orchestrator::run_model_batched(const std::string& n
 BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
                                                        const ServableModel& m,
                                                        const Tensor& batch,
-                                                       const Tensor& out) {
+                                                       const Tensor& out,
+                                                       ActiveRollout* ro,
+                                                       const Tensor* cand_out) {
   const std::size_t rows = batch.rows();
   BatchingQueue::RowResults results;
   results.reserve(rows);
   CircuitBreaker* br =
       (opts_.enable_breaker && m.fallback) ? &breaker(name) : nullptr;
   obs::ModelMonitor* mon = opts_.monitor.enabled ? &monitor(name) : nullptr;
+  SampleHook hook;
+  if (hook_set_.load(std::memory_order_acquire)) {
+    const std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = sample_hook_;
+  }
   for (std::size_t r = 0; r < rows; ++r) {
     Tensor row_out({1, out.cols()});
     std::copy(out.row(r).begin(), out.row(r).end(), row_out.row(0).begin());
@@ -386,10 +597,45 @@ BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
                               [](double v) { return std::isfinite(v); });
     if (qoi_ok && m.qoi_check) qoi_ok = m.qoi_check(input_row(), row_out);
 
-    if (br != nullptr) br->record_outcome(qoi_ok);
-    if (mon != nullptr) mon->record_request(batch.row(r), qoi_ok);
-    if (qoi_ok) {
-      results.emplace_back(std::move(row_out));
+    // Live rollout: score the candidate's duplicate output for this row and
+    // decide whether the row is a shadow observation (response untouched)
+    // or a canary row (served by the candidate).
+    bool serve_candidate = false;
+    bool cand_ok = false;
+    Tensor cand_row;
+    if (ro != nullptr && cand_out != nullptr) {
+      cand_row = Tensor({1, cand_out->cols()});
+      std::copy(cand_out->row(r).begin(), cand_out->row(r).end(),
+                cand_row.row(0).begin());
+      cand_ok = std::all_of(cand_row.row(0).begin(), cand_row.row(0).end(),
+                            [](double v) { return std::isfinite(v); });
+      const ServableModel& cand_model = *ro->candidate;
+      if (cand_ok && cand_model.qoi_check) {
+        cand_ok = cand_model.qoi_check(input_row(), cand_row);
+      }
+      const RolloutState stage = ro->ctl.state();
+      if (stage == RolloutState::kCanary && ro->ctl.admit_canary()) {
+        serve_candidate = true;
+        ro->canary_rows->increment();
+        if (!cand_ok) ro->canary_miss->increment();
+        ro->ctl.record_canary(cand_ok);
+      } else if (stage == RolloutState::kShadow) {
+        ro->shadow_rows->increment();
+        if (!qoi_ok) ro->shadow_active_miss->increment();
+        if (!cand_ok) ro->shadow_candidate_miss->increment();
+        ro->ctl.record_shadow(qoi_ok, cand_ok);
+      }
+    }
+
+    // Health signals track whichever model actually served the row.
+    const bool served_ok = serve_candidate ? cand_ok : qoi_ok;
+    if (br != nullptr) br->record_outcome(served_ok);
+    if (mon != nullptr) mon->record_request(batch.row(r), served_ok);
+    if (hook) hook(name, batch.row(r), served_ok);
+
+    if (served_ok) {
+      results.emplace_back(serve_candidate ? std::move(cand_row)
+                                           : std::move(row_out));
       continue;
     }
     stats_.record_qoi_fallback();
@@ -453,7 +699,29 @@ BatchingQueue& Orchestrator::batches() {
             return BatchingQueue::RowResults(rows, Result<Tensor>(out.status()));
           }
           record_requests(batch_phases, rows);
-          return finalize_batch(model_name, *m, batch, out.value());
+
+          // Live rollout for this model: run the candidate's duplicate
+          // forward over the same batch (no stats, no fault injection — the
+          // shadow must not perturb the serving measurements it is judged
+          // against).
+          const std::shared_ptr<ActiveRollout> ro = find_rollout(model_name);
+          Tensor cand_out;
+          bool have_candidate = false;
+          if (ro != nullptr) {
+            const RolloutState st = ro->ctl.poll();
+            if (st == RolloutState::kShadow || st == RolloutState::kCanary) {
+              const obs::Span shadow_span(*tracer_, "serve.shadow_infer");
+              const ServableModel& cand = *ro->candidate;
+              cand_out = cand.encode ? cand.surrogate.predict(cand.encode(batch))
+                                     : cand.surrogate.predict(batch);
+              have_candidate = cand_out.rows() == rows;
+            }
+          }
+          BatchingQueue::RowResults results = finalize_batch(
+              model_name, *m, batch, out.value(), have_candidate ? ro.get() : nullptr,
+              have_candidate ? &cand_out : nullptr);
+          if (ro != nullptr) maybe_conclude_rollout(model_name, *ro);
+          return results;
         },
         bopts, &stats_, tracer_);
   });

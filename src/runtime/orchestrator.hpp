@@ -53,6 +53,8 @@
 #include "runtime/circuit_breaker.hpp"
 #include "runtime/device.hpp"
 #include "runtime/fault_injector.hpp"
+#include "runtime/model_registry.hpp"
+#include "runtime/rollout.hpp"
 #include "runtime/sharded_store.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/tensor.hpp"
@@ -137,14 +139,20 @@ struct RequestOptions {
   }
 };
 
-/// The keyed tensor store + model registry (one per "experiment").
+/// The keyed tensor store + versioned model registry (one per "experiment").
 /// Thread-safety: fully thread-safe — any mix of clients may call any member
 /// concurrently (striped store, shared_mutex registry, locked queues).
-class Orchestrator {
+///
+/// Model versioning (docs/RETRAINING.md): set_model()/deploy() publish a new
+/// version and promote it immediately; install_candidate()/begin_rollout()
+/// publish without promoting and shadow/canary-evaluate the candidate on
+/// live traffic, promoting (or discarding) it atomically via the rollout
+/// state machine. Serving always reads the registry's active version.
+class Orchestrator : public RolloutHost {
  public:
   explicit Orchestrator(DeviceModel device = DeviceModel{},
                         OrchestratorOptions opts = OrchestratorOptions{});
-  ~Orchestrator();
+  ~Orchestrator() override;
 
   Orchestrator(const Orchestrator&) = delete;
   Orchestrator& operator=(const Orchestrator&) = delete;
@@ -154,16 +162,67 @@ class Orchestrator {
   [[nodiscard]] bool has_tensor(const std::string& key) const;
   void delete_tensor(const std::string& key);
 
+  /// Publishes `model` as a new version of `name` and promotes it
+  /// immediately (no rollout evaluation — the trusted-deploy path).
   void set_model(const std::string& name, std::shared_ptr<const ServableModel> model);
 
-  /// Registers `pkg.model` under `pkg.name` and installs the training-set
-  /// reference sketch on the model's health monitor, arming drift detection
-  /// for every subsequently served request (docs/OBSERVABILITY.md).
+  /// Registers `pkg.model` under `pkg.name` (publish + promote) and installs
+  /// the training-set reference sketch on the model's health monitor, arming
+  /// drift detection for every subsequently served request
+  /// (docs/OBSERVABILITY.md).
   void deploy(const DeploymentPackage& pkg);
-  /// Registry lookup; throws ahn::Error for unknown names (the serving
-  /// paths use the non-throwing internal lookup and report
+  /// Active-version lookup; throws ahn::Error for unknown names (the
+  /// serving paths use the non-throwing internal lookup and report
   /// kModelUnavailable instead).
   [[nodiscard]] std::shared_ptr<const ServableModel> model(const std::string& name) const;
+
+  /// The versioned registry behind set_model/deploy/rollouts (exposed for
+  /// observability, the cluster coordinator, and tests).
+  [[nodiscard]] ModelRegistry& registry() noexcept { return registry_; }
+
+  /// Atomically makes retained version `id` the serving version and
+  /// re-baselines the model's health monitor against that version's
+  /// reference sketch (both decay edge-triggers re-arm — a recovered model
+  /// can alert again). Returns false if the name/id is unknown.
+  bool promote(const std::string& name, std::uint64_t id);
+
+  /// Atomically restores the previous serving version (the §7.1 safety
+  /// valve when a promotion goes bad) and re-baselines the monitor.
+  /// Returns the version now serving, or nullopt if there is none to
+  /// roll back to.
+  std::optional<std::uint64_t> rollback(const std::string& name);
+
+  // RolloutHost — the surface the Retrainer (and tests) drive. A live
+  // rollout double-scores every executed batch for `name`: shadow rows
+  // leave responses bitwise-unchanged; canary rows serve the candidate
+  // (per-row QoI fallback still applies). With
+  // RolloutOptions::auto_finalize the PASSED/FAILED verdict is applied
+  // inline after the deciding batch; the cluster coordinator turns that
+  // off and finalizes across shards itself.
+  [[nodiscard]] std::optional<ActiveModelInfo> active_model(
+      const std::string& name) const override;
+  std::uint64_t install_candidate(
+      const std::string& name, std::shared_ptr<const ServableModel> model,
+      std::shared_ptr<const obs::FeatureSketch> reference, std::string origin) override;
+  /// install_candidate with a caller-chosen version id: the cluster
+  /// coordinator replicates its registry onto shards with this, so the same
+  /// version carries the same id everywhere (including revive replay).
+  std::uint64_t install_version(const std::string& name,
+                                std::shared_ptr<const ServableModel> model,
+                                std::shared_ptr<const obs::FeatureSketch> reference,
+                                std::string origin, std::uint64_t explicit_id);
+  Status begin_rollout(const std::string& name, std::uint64_t candidate_version,
+                       RolloutOptions opts) override;
+  std::optional<RolloutSnapshot> rollout_progress(const std::string& name) override;
+  [[nodiscard]] obs::AlertSink& alert_sink() override { return alerts_; }
+  void set_sample_hook(SampleHook hook) override;
+
+  /// Coordinated finalization (RolloutOptions::auto_finalize off): applies
+  /// the verdict an external coordinator reached — promote the candidate,
+  /// or discard it and raise the rollback alert. No-op without a live
+  /// rollout for `name`.
+  void finalize_rollout(const std::string& name, bool promote_candidate,
+                        const std::string& reason = "");
 
   /// Runs `name` on the tensor at `in_key`, storing the result at `out_key`.
   /// Wall time of each online phase is modeled with the device model and
@@ -259,7 +318,7 @@ class Orchestrator {
                                           const std::string& out_key,
                                           PhaseAccumulator* phases);
 
-  /// Non-throwing registry lookup (nullptr = unknown model).
+  /// Non-throwing active-version lookup (nullptr = unknown model).
   [[nodiscard]] std::shared_ptr<const ServableModel> find_model(
       const std::string& name) const;
 
@@ -267,10 +326,49 @@ class Orchestrator {
   /// latency = batch phases amortized over the rows).
   void record_requests(const RequestPhases& batch_phases, std::size_t rows);
 
+  /// One in-flight rollout: the candidate weights pinned for the shadow
+  /// duplicate forward, the state machine, and cached metric handles (the
+  /// per-row loop must not re-hash metric names).
+  struct ActiveRollout {
+    ActiveRollout(std::string model_name, std::uint64_t v,
+                  std::shared_ptr<const ServableModel> cand, RolloutOptions opts)
+        : version(v), candidate(std::move(cand)), ctl(std::move(model_name), v, std::move(opts)) {}
+
+    std::uint64_t version;
+    std::shared_ptr<const ServableModel> candidate;
+    RolloutController ctl;
+    obs::Counter* shadow_rows = nullptr;
+    obs::Counter* shadow_active_miss = nullptr;
+    obs::Counter* shadow_candidate_miss = nullptr;
+    obs::Counter* canary_rows = nullptr;
+    obs::Counter* canary_miss = nullptr;
+  };
+
+  /// The live rollout for `name` (nullptr when none) — shared-lock lookup
+  /// behind a lock-free "any rollout live?" fast path.
+  [[nodiscard]] std::shared_ptr<ActiveRollout> find_rollout(const std::string& name);
+
+  /// Applies a PASSED/FAILED verdict (promote / discard + alert), moves the
+  /// terminal snapshot to last_rollouts_, and erases the live entry. No-op
+  /// while the rollout is still deciding or when auto_finalize is off.
+  void maybe_conclude_rollout(const std::string& name, ActiveRollout& ro);
+
+  /// The shared promote-or-discard body behind maybe_conclude_rollout and
+  /// finalize_rollout.
+  void conclude_rollout(const std::string& name, ActiveRollout& ro,
+                        bool promote_candidate, const std::string& reason);
+
+  /// Retires the live rollout entry for `name` (terminal snapshot kept for
+  /// rollout_progress; rollout_state gauge updated).
+  void clear_rollout(const std::string& name, const ActiveRollout& ro);
+
   /// Per-row QoI check + fallback + breaker outcome for one executed batch.
+  /// With a live rollout, `ro`/`cand_out` carry the candidate's duplicate
+  /// forward: shadow rows are double-scored (response untouched), canary
+  /// rows are served from the candidate output.
   [[nodiscard]] BatchingQueue::RowResults finalize_batch(
       const std::string& name, const ServableModel& m, const Tensor& batch,
-      const Tensor& out);
+      const Tensor& out, ActiveRollout* ro, const Tensor* cand_out);
 
   ThreadPool& pool();
   BatchingQueue& batches();
@@ -281,8 +379,24 @@ class Orchestrator {
   ServingStats stats_;
 
   ShardedTensorStore tensors_;
-  mutable std::shared_mutex models_mu_;
-  std::unordered_map<std::string, std::shared_ptr<const ServableModel>> models_;
+  ModelRegistry registry_;
+
+  // Rollout bookkeeping. rollouts_live_ is the lock-free fast path the
+  // batch executor checks before touching the map; last_rollouts_ keeps the
+  // terminal snapshot per name so rollout_progress outlives conclusion.
+  // Lock order: a breaker's on_transition hook (under the breaker mutex)
+  // takes rollouts_mu_ shared then the controller mutex — never hold the
+  // controller mutex while calling into a breaker.
+  mutable std::shared_mutex rollouts_mu_;
+  std::unordered_map<std::string, std::shared_ptr<ActiveRollout>> rollouts_;
+  std::unordered_map<std::string, RolloutSnapshot> last_rollouts_;
+  std::atomic<std::size_t> rollouts_live_{0};
+
+  // Sampled-row observer (the Retrainer's reservoir feed). Copied once per
+  // executed batch; fed per served row.
+  mutable std::mutex hook_mu_;
+  SampleHook sample_hook_;
+  std::atomic<bool> hook_set_{false};
 
   std::atomic<bool> draining_{false};
 

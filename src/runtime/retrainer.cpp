@@ -1,0 +1,324 @@
+#include "runtime/retrainer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+#include "obs/monitor.hpp"
+#include "obs/trace.hpp"
+#include "runtime/orchestrator.hpp"
+
+namespace ahn::runtime {
+
+double complexity_weight(const obs::FeatureSketch& reference,
+                         std::span<const double> row) {
+  double w = 0.0;
+  const std::size_t features = std::min(row.size(), reference.features());
+  for (std::size_t f = 0; f < features; ++f) {
+    if (std::isnan(row[f])) continue;
+    const double sigma = std::max(reference.stddev(f), 1e-12);
+    w = std::max(w, std::abs(row[f] - reference.mean(f)) / sigma);
+  }
+  return w;
+}
+
+// --------------------------------------------------------- RetrainReservoir
+
+RetrainReservoir::RetrainReservoir(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void RetrainReservoir::offer(std::span<const double> row, double weight) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++offered_;
+  if (rows_.size() < capacity_) {
+    rows_.push_back(ReservoirRow{std::vector<double>(row.begin(), row.end()), weight});
+    return;
+  }
+  // Full: replace the current minimum-weight row iff the newcomer outweighs
+  // it — the Turaco rule that concentrates the buffer on drifted inputs.
+  std::size_t min_i = 0;
+  for (std::size_t i = 1; i < rows_.size(); ++i) {
+    if (rows_[i].weight < rows_[min_i].weight) min_i = i;
+  }
+  if (weight > rows_[min_i].weight) {
+    rows_[min_i].x.assign(row.begin(), row.end());
+    rows_[min_i].weight = weight;
+  }
+}
+
+std::vector<ReservoirRow> RetrainReservoir::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+void RetrainReservoir::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  rows_.clear();
+}
+
+std::size_t RetrainReservoir::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return rows_.size();
+}
+
+std::uint64_t RetrainReservoir::offered() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return offered_;
+}
+
+// ------------------------------------------------------------------ Impl
+
+struct Retrainer::Impl {
+  RolloutHost* host;
+  RetrainerOptions opts;
+
+  std::atomic<std::uint64_t> ticker{0};
+  std::atomic<bool> stopping{false};
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::string> queue;
+  std::set<std::string> queued;  ///< dedup: queued or mid-cycle names
+  std::unordered_map<std::string, std::unique_ptr<RetrainReservoir>> reservoirs;
+
+  std::atomic<std::uint64_t> alerts_seen{0};
+  std::atomic<std::uint64_t> started{0};
+  std::atomic<std::uint64_t> promoted{0};
+  std::atomic<std::uint64_t> rolled_back{0};
+  std::atomic<std::uint64_t> skipped{0};
+
+  std::thread worker;
+
+  explicit Impl(RolloutHost& h, RetrainerOptions o) : host(&h), opts(std::move(o)) {
+    opts.sample_every = std::max<std::uint64_t>(1, opts.sample_every);
+  }
+
+  RetrainReservoir& reservoir(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(mu);
+    std::unique_ptr<RetrainReservoir>& r = reservoirs[name];
+    if (r == nullptr) r = std::make_unique<RetrainReservoir>(opts.reservoir_capacity);
+    return *r;  // never erased -> address stable after creation
+  }
+
+  /// Sample hook body (serving threads): subsample, weight, offer.
+  void on_row(const std::string& name, std::span<const double> row) {
+    if (stopping.load(std::memory_order_relaxed) || row.empty()) return;
+    if (ticker.fetch_add(1, std::memory_order_relaxed) % opts.sample_every != 0) {
+      return;
+    }
+    double weight = 1.0;
+    if (const std::optional<ActiveModelInfo> info = host->active_model(name)) {
+      if (info->reference != nullptr) {
+        weight = complexity_weight(*info->reference, row);
+      }
+    }
+    reservoir(name).offer(row, weight);
+  }
+
+  /// Alert callback body (serving threads): filter and enqueue.
+  void on_alert(const obs::Alert& a) {
+    bool trigger = false;
+    switch (a.kind) {
+      case obs::AlertKind::kDriftDetected: trigger = opts.retrain_on_drift; break;
+      case obs::AlertKind::kQoiDegraded: trigger = opts.retrain_on_qoi; break;
+      case obs::AlertKind::kBreakerOpen: trigger = opts.retrain_on_breaker; break;
+      case obs::AlertKind::kRolloutRolledBack: trigger = false; break;
+    }
+    if (!trigger) return;
+    alerts_seen.fetch_add(1, std::memory_order_relaxed);
+    enqueue(a.model);
+  }
+
+  void enqueue(const std::string& name) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!queued.insert(name).second) return;  // already queued or mid-cycle
+      queue.push_back(name);
+    }
+    cv.notify_one();
+  }
+
+  void run() {
+    for (;;) {
+      std::string name;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stopping.load() || !queue.empty(); });
+        if (stopping.load()) return;
+        name = queue.front();
+        queue.pop_front();
+      }
+      run_cycle(name);
+      const std::lock_guard<std::mutex> lock(mu);
+      queued.erase(name);
+    }
+  }
+
+  void run_cycle(const std::string& name) {
+    started.fetch_add(1, std::memory_order_relaxed);
+    const obs::Span cycle_span(obs::Tracer::global(), "retrain.cycle");
+
+    const std::optional<ActiveModelInfo> info = host->active_model(name);
+    if (!info.has_value() || info->model == nullptr || !info->model->fallback) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      AHN_WARN_C("retrain", name << ": no active model with an original-code "
+                                    "fallback to label rows; cycle skipped");
+      return;
+    }
+    const std::vector<ReservoirRow> rows = reservoir(name).snapshot();
+    if (rows.size() < opts.min_retrain_rows) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      AHN_INFO_C("retrain", name << ": reservoir has " << rows.size() << " rows, "
+                                 << opts.min_retrain_rows
+                                 << " required; cycle skipped");
+      return;
+    }
+
+    // Label the reservoir with the original code (§7.1: the fallback is the
+    // ground truth that is always available, exactly what a drifted
+    // surrogate is missing).
+    const std::size_t n = rows.size();
+    const std::size_t in_features = rows[0].x.size();
+    nn::Dataset data;
+    data.x = Tensor({n, in_features});
+    {
+      const obs::Span label_span(obs::Tracer::global(), "retrain.label");
+      Tensor row_in({1, in_features});
+      for (std::size_t i = 0; i < n; ++i) {
+        std::copy(rows[i].x.begin(), rows[i].x.end(), data.x.row(i).begin());
+        std::copy(rows[i].x.begin(), rows[i].x.end(), row_in.row(0).begin());
+        const Tensor label = info->model->fallback(row_in);
+        if (i == 0) data.y = Tensor({n, label.size()});
+        const std::span<const double> flat = label.flat();
+        std::copy(flat.begin(), flat.end(), data.y.row(i).begin());
+      }
+    }
+
+    nn::TrainedSurrogate candidate_surrogate;
+    {
+      const obs::Span train_span(obs::Tracer::global(), "retrain.train");
+      candidate_surrogate =
+          opts.train_fn
+              ? opts.train_fn(info->model->surrogate, data)
+              : nn::train_surrogate(info->model->surrogate.net, data, opts.train);
+    }
+
+    // Candidate = the active servable with the surrogate swapped; the new
+    // reference sketch is the reservoir itself (the distribution the
+    // candidate was just trained on).
+    auto candidate = std::make_shared<ServableModel>(*info->model);
+    candidate->surrogate = std::move(candidate_surrogate);
+    auto reference = std::make_shared<obs::FeatureSketch>(in_features);
+    for (const ReservoirRow& r : rows) reference->observe(r.x);
+
+    const std::uint64_t version =
+        host->install_candidate(name, std::move(candidate), std::move(reference),
+                                "retrain");
+    const Status begun = host->begin_rollout(name, version, opts.rollout);
+    if (!begun.is_ok()) {
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      AHN_WARN_C("retrain", name << ": begin_rollout(v" << version
+                                 << ") failed: " << begun.message());
+      return;
+    }
+    AHN_INFO_C("retrain", name << ": candidate v" << version << " trained on "
+                               << n << " reservoir rows (val loss "
+                               << candidate->surrogate.result.val_loss
+                               << "); rollout started");
+
+    // Drive the rollout to its verdict (each poll also runs the host's
+    // stage-deadline checks). Past the cycle budget, stop polling — the
+    // rollout's own stage timeout fails it on a later poll.
+    const Timer elapsed;
+    RolloutState final_state = RolloutState::kIdle;
+    for (;;) {
+      const std::optional<RolloutSnapshot> snap = host->rollout_progress(name);
+      if (snap.has_value() && snap->candidate_version == version &&
+          rollout_terminal(snap->state)) {
+        final_state = snap->state;
+        break;
+      }
+      if (stopping.load(std::memory_order_relaxed) ||
+          elapsed.seconds() > opts.cycle_timeout_seconds) {
+        break;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opts.poll_interval_seconds));
+    }
+
+    if (final_state == RolloutState::kPromoted) {
+      promoted.fetch_add(1, std::memory_order_relaxed);
+      // Promotion re-baselined the monitor (retrain_recommended clears);
+      // start collecting the *new* distribution from scratch.
+      reservoir(name).clear();
+      AHN_INFO_C("retrain", name << ": v" << version << " promoted");
+    } else if (final_state == RolloutState::kRolledBack) {
+      rolled_back.fetch_add(1, std::memory_order_relaxed);
+      AHN_WARN_C("retrain", name << ": v" << version << " rolled back");
+    } else {
+      AHN_WARN_C("retrain", name << ": rollout of v" << version
+                                 << " unresolved within the cycle budget");
+    }
+  }
+};
+
+// ------------------------------------------------------------- Retrainer
+
+Retrainer::Retrainer(RolloutHost& host, RetrainerOptions opts)
+    : impl_(std::make_shared<Impl>(host, std::move(opts))) {
+  // Both callbacks hold weak refs: the host may outlive this Retrainer and
+  // keep raising alerts / serving rows without dangling into freed state.
+  std::weak_ptr<Impl> weak = impl_;
+  host.set_sample_hook([weak](const std::string& name, std::span<const double> row,
+                              bool /*qoi_ok*/) {
+    if (const std::shared_ptr<Impl> impl = weak.lock()) impl->on_row(name, row);
+  });
+  host.alert_sink().add_callback([weak](const obs::Alert& a) {
+    if (const std::shared_ptr<Impl> impl = weak.lock()) impl->on_alert(a);
+  });
+  impl_->worker = std::thread([impl = impl_] { impl->run(); });
+}
+
+Retrainer::~Retrainer() { stop(); }
+
+void Retrainer::stop() {
+  if (impl_ == nullptr) return;
+  impl_->stopping.store(true, std::memory_order_relaxed);
+  impl_->cv.notify_all();
+  if (impl_->worker.joinable()) impl_->worker.join();
+  impl_->host->set_sample_hook({});
+  // impl_ stays alive: stats()/reservoir_size() remain readable after stop
+  // (benches and operators inspect the outcome once the worker is quiet).
+}
+
+void Retrainer::request_retrain(const std::string& model) {
+  if (impl_ != nullptr) impl_->enqueue(model);
+}
+
+RetrainerStats Retrainer::stats() const {
+  RetrainerStats s;
+  if (impl_ == nullptr) return s;
+  s.alerts_seen = impl_->alerts_seen.load(std::memory_order_relaxed);
+  s.cycles_started = impl_->started.load(std::memory_order_relaxed);
+  s.cycles_promoted = impl_->promoted.load(std::memory_order_relaxed);
+  s.cycles_rolled_back = impl_->rolled_back.load(std::memory_order_relaxed);
+  s.cycles_skipped = impl_->skipped.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t Retrainer::reservoir_size(const std::string& model) const {
+  if (impl_ == nullptr) return 0;
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->reservoirs.find(model);
+  return it == impl_->reservoirs.end() ? 0 : it->second->size();
+}
+
+}  // namespace ahn::runtime

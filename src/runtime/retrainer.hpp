@@ -1,0 +1,144 @@
+#pragma once
+// Automatic drift-triggered retraining (docs/RETRAINING.md): the consumer of
+// the model-health alerts that PR 5 left dangling. A Retrainer subscribes to
+// its host's AlertSink and keeps a per-model reservoir of live feature rows
+// harvested from the serving path; when a drift_detected / qoi_degraded
+// alert fires, a background worker labels the reservoir with the model's
+// original-code fallback (the §7.1 ground truth that is always available),
+// fine-tunes the active surrogate on it, and hands the candidate to the
+// host's shadow → canary → promote rollout. Serving threads never train;
+// the worker never serves.
+//
+// Reservoir semantics follow Turaco (PAPERS.md): instead of uniform
+// reservoir sampling, each row carries a complexity weight — its worst
+// per-feature standardized deviation from the active version's training
+// reference — and eviction drops the *lowest*-weight row. Under drift the
+// reservoir therefore fills with exactly the rows the current surrogate was
+// not trained on, which is what the retrain needs to learn.
+//
+// Thread-safety: fully thread-safe. The sample hook and alert callback run
+// on serving threads and only touch the reservoir/queue (mutex + cv); the
+// training cycle runs on the one worker thread. All callbacks hold a
+// weak_ptr to the internal state, so a Retrainer may be destroyed while its
+// host keeps serving. The host must outlive the Retrainer.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/train.hpp"
+#include "runtime/rollout.hpp"
+
+namespace ahn::obs {
+class FeatureSketch;
+}  // namespace ahn::obs
+
+namespace ahn::runtime {
+
+/// Turaco-style complexity weight of one live row against the training
+/// reference: the worst per-feature standardized deviation
+/// max_f |x_f - mu_f| / sigma_f. Rows the training distribution covered
+/// score near zero; drifted rows score in "sigmas" — the ones worth keeping.
+[[nodiscard]] double complexity_weight(const obs::FeatureSketch& reference,
+                                       std::span<const double> row);
+
+struct ReservoirRow {
+  std::vector<double> x;
+  double weight = 0.0;
+};
+
+/// Bounded, complexity-weighted retraining buffer. offer() keeps the row if
+/// there is room, otherwise replaces the current minimum-weight row when the
+/// newcomer outweighs it. Thread-safe.
+class RetrainReservoir {
+ public:
+  explicit RetrainReservoir(std::size_t capacity);
+
+  void offer(std::span<const double> row, double weight);
+  [[nodiscard]] std::vector<ReservoirRow> snapshot() const;
+  void clear();
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t offered() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<ReservoirRow> rows_;
+  std::uint64_t offered_ = 0;
+};
+
+struct RetrainerOptions {
+  /// 1 in `sample_every` hook rows is offered to the reservoir (the hook
+  /// already only sees served rows; this bounds reservoir-update cost).
+  std::uint64_t sample_every = 4;
+  std::size_t reservoir_capacity = 1024;
+  /// A retrain cycle is skipped (and the trigger re-queued by the next
+  /// alert) until the reservoir holds at least this many rows.
+  std::size_t min_retrain_rows = 64;
+
+  /// Fine-tune knobs handed to the training seam.
+  nn::TrainOptions train;
+  /// Shadow/canary evaluation for every candidate this worker produces.
+  RolloutOptions rollout;
+
+  bool retrain_on_drift = true;    ///< drift_detected triggers a cycle
+  bool retrain_on_qoi = true;      ///< qoi_degraded triggers a cycle
+  bool retrain_on_breaker = false; ///< breaker_open triggers a cycle
+
+  /// Rollout progress poll cadence while a candidate is being evaluated
+  /// (each poll also drives the host's stage-deadline checks).
+  double poll_interval_seconds = 2e-3;
+  /// Wall-clock budget for one cycle's rollout wait; past it the worker
+  /// stops polling (the rollout's own stage timeout then fails it).
+  double cycle_timeout_seconds = 120.0;
+
+  /// Training seam: active surrogate + labeled reservoir -> candidate
+  /// surrogate. Empty = fine-tune a copy of the active network with
+  /// nn::train_surrogate (warm start, normalizers refitted on the new
+  /// rows). The NAS layer can inject an architecture-search trainer here —
+  /// runtime cannot link nas, so the seam points the other way.
+  std::function<nn::TrainedSurrogate(const nn::TrainedSurrogate& active,
+                                     const nn::Dataset& data)>
+      train_fn;
+};
+
+struct RetrainerStats {
+  std::uint64_t alerts_seen = 0;      ///< trigger alerts observed
+  std::uint64_t cycles_started = 0;
+  std::uint64_t cycles_promoted = 0;
+  std::uint64_t cycles_rolled_back = 0;
+  std::uint64_t cycles_skipped = 0;   ///< no fallback / too few rows / busy
+};
+
+/// The background retraining worker. One instance per host (single-node
+/// Orchestrator or ClusterOrchestrator — anything implementing RolloutHost).
+class Retrainer {
+ public:
+  explicit Retrainer(RolloutHost& host, RetrainerOptions opts = RetrainerOptions{});
+  ~Retrainer();
+
+  Retrainer(const Retrainer&) = delete;
+  Retrainer& operator=(const Retrainer&) = delete;
+
+  /// Queues a retrain cycle for `model` as if an alert had fired (operator
+  /// override / tests). Deduplicated against already-queued cycles.
+  void request_retrain(const std::string& model);
+
+  /// Stops the worker after the in-flight cycle (if any) finishes and
+  /// detaches the sample hook. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] RetrainerStats stats() const;
+  /// Rows currently held for `model` (0 for unknown names).
+  [[nodiscard]] std::size_t reservoir_size(const std::string& model) const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace ahn::runtime

@@ -215,6 +215,55 @@ TEST(AlertSink, StampsCountsAndDeliversToCallback) {
   EXPECT_EQ(delivered[1].sequence, 2u);
 }
 
+TEST(AlertSink, AddCallbackSubscribersSurviveSetCallback) {
+  obs::AlertSink sink;
+  int primary = 0, sub_a = 0, sub_b = 0;
+  sink.set_callback([&primary](const obs::Alert&) { ++primary; });
+  sink.add_callback([&sub_a](const obs::Alert&) { ++sub_a; });
+  sink.add_callback([&sub_b](const obs::Alert&) { ++sub_b; });
+
+  obs::Alert a;
+  a.model = "m";
+  sink.raise(a);
+  EXPECT_EQ(primary, 1);
+  EXPECT_EQ(sub_a, 1);
+  EXPECT_EQ(sub_b, 1);
+
+  // Replacing the primary slot (e.g. a test re-wiring the log hook) must
+  // not detach add_callback subscribers — the Retrainer depends on this.
+  int replacement = 0;
+  sink.set_callback([&replacement](const obs::Alert&) { ++replacement; });
+  sink.raise(a);
+  EXPECT_EQ(primary, 1);
+  EXPECT_EQ(replacement, 1);
+  EXPECT_EQ(sub_a, 2);
+  EXPECT_EQ(sub_b, 2);
+}
+
+TEST(RateTrend, ResetForgetsAllHistory) {
+  obs::TrendOptions opts;
+  opts.window = 4;
+  obs::RateTrend trend(opts);
+  for (int i = 0; i < 50; ++i) {
+    trend.record(true);
+    trend.record_window(true);
+  }
+  ASSERT_GT(trend.ewma(), 0.9);
+  ASSERT_DOUBLE_EQ(trend.window_rate(), 1.0);
+
+  trend.reset();
+  EXPECT_DOUBLE_EQ(trend.ewma(), 0.0);
+  EXPECT_DOUBLE_EQ(trend.window_rate(), 0.0);
+  EXPECT_EQ(trend.total(), 0u);
+  EXPECT_EQ(trend.events(), 0u);
+
+  // Post-reset recording starts from scratch (no stale window slots).
+  trend.record(false);
+  trend.record_window(false);
+  EXPECT_EQ(trend.total(), 1u);
+  EXPECT_DOUBLE_EQ(trend.window_rate(), 0.0);
+}
+
 TEST(AlertSink, RingIsBoundedOldestFirst) {
   obs::AlertSink sink(/*ring_capacity=*/3);
   for (int i = 0; i < 5; ++i) {
