@@ -31,7 +31,53 @@ PipelineModel evaluate_candidate(const SearchTask& task, const nn::TopologySpec&
 
   // f_e: application-level quality degradation.
   pm.quality_error = task.evaluate_quality(pm);
+
+  if (!task.search_precision) return pm;
+
+  // Precision axis: calibrate the trained candidate to int8 and re-measure
+  // both objectives. The encoder stays fp32 (it is shared across candidates
+  // and not a dense-layer stack), so only the surrogate's share is re-priced
+  // at the int8 rate. Train-once / evaluate-twice keeps the axis nearly
+  // free relative to a second training run.
+  PipelineModel qpm = pm;
+  nn::quantize_surrogate(qpm.surrogate, reduced_data.x, task.quant);
+  qpm.precision = nn::Precision::kInt8;
+  double qt = task.device.kernel_seconds(qpm.surrogate.net.inference_cost(1),
+                                         runtime::nn_int8_inference_profile());
+  if (qpm.encoder != nullptr) {
+    qt += task.device.kernel_seconds(qpm.encoder->encode_cost(1),
+                                     runtime::nn_inference_profile());
+  }
+  qpm.modeled_infer_seconds = qt;
+  qpm.quality_error = task.evaluate_quality(qpm);
+
+  const bool fp_ok = pm.quality_error <= task.quality_bound;
+  const bool q_ok = qpm.quality_error <= task.quality_bound;
+  // Same dominance rule the searchers use: feasibility first, then f_c.
+  if (q_ok && (!fp_ok || qpm.modeled_infer_seconds < pm.modeled_infer_seconds)) {
+    return qpm;
+  }
   return pm;
+}
+
+std::function<nn::TrainedSurrogate(const nn::TrainedSurrogate&, const nn::Dataset&)>
+make_precision_train_fn(nn::TrainOptions train, nn::QuantizationOptions quant,
+                        double quality_bound) {
+  return [train, quant, quality_bound](const nn::TrainedSurrogate& active,
+                                       const nn::Dataset& data) {
+    // Warm-start fine-tune, exactly like the Retrainer's built-in trainer
+    // (train_surrogate forces the copy back to fp32 before the first step).
+    nn::TrainedSurrogate cand = nn::train_surrogate(active.net, data, train);
+
+    nn::TrainedSurrogate quantized = cand;
+    nn::quantize_surrogate(quantized, data.x, quant);
+    const double fp_err = nn::mean_relative_error(cand.predict(data.x), data.y);
+    const double q_err = nn::mean_relative_error(quantized.predict(data.x), data.y);
+    // Serve int8 when it holds the bound — or degrades the fine-tuned model
+    // by under 10% relative when even fp32 misses the bound.
+    if (q_err <= quality_bound || q_err <= fp_err * 1.1) return quantized;
+    return cand;
+  };
 }
 
 }  // namespace ahn::nas

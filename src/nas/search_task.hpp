@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "autoencoder/autoencoder.hpp"
+#include "nn/quantization.hpp"
 #include "nn/topology.hpp"
 #include "nn/train.hpp"
 #include "runtime/device.hpp"
@@ -28,6 +29,12 @@ struct PipelineModel {
 
   double quality_error = std::numeric_limits<double>::infinity();         ///< f_e
   double modeled_infer_seconds = std::numeric_limits<double>::infinity(); ///< f_c
+
+  /// Numeric mode the objectives above were measured at. When the search
+  /// runs with search_precision on, evaluate_candidate also prices the int8
+  /// variant of each trained candidate and keeps the better mode — so
+  /// (K, theta, precision) are optimized jointly under the same objective.
+  nn::Precision precision = nn::Precision::kFp32;
 
   /// End-to-end prediction for one problem's full-width features.
   [[nodiscard]] std::vector<double> infer(std::span<const double> features) const;
@@ -48,6 +55,14 @@ struct SearchTask {
   nn::TrainOptions train;            ///< model-level knobs (Table 1)
   nn::TopologySpace space;
   std::uint64_t seed = 11;
+
+  /// When true, every trained candidate is additionally calibrated to int8
+  /// (on the reduced training inputs) and re-priced; the cheaper feasible
+  /// mode wins. Training itself always runs fp32 — precision is a
+  /// post-training execution axis, so it adds one calibration pass and one
+  /// quality evaluation per candidate, not a second training run.
+  bool search_precision = false;
+  nn::QuantizationOptions quant;     ///< calibration knobs for that pass
 };
 
 /// Builds, trains and prices one candidate on (optionally reduced) data.
@@ -59,5 +74,17 @@ struct SearchTask {
     const SearchTask& task, const nn::TopologySpec& spec,
     std::shared_ptr<const autoencoder::Autoencoder> encoder,
     const nn::Dataset& reduced_data, Rng rng);
+
+/// Builds a RetrainerOptions::train_fn that fine-tunes the active surrogate
+/// on the reservoir rows (warm start, refit normalizers) and then — when
+/// `opts.search_precision`-style quantization is requested via `quant` —
+/// calibrates the candidate to int8 if the quantized copy keeps the training
+/// relative error within `quality_bound`. This is how a drift-triggered
+/// retrain can hand the rollout machinery a quantized candidate: the
+/// shadow/canary/QoI gates treat it exactly like a precision-less one.
+[[nodiscard]] std::function<nn::TrainedSurrogate(const nn::TrainedSurrogate&,
+                                                 const nn::Dataset&)>
+make_precision_train_fn(nn::TrainOptions train, nn::QuantizationOptions quant,
+                        double quality_bound = 0.1);
 
 }  // namespace ahn::nas

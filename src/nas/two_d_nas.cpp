@@ -133,6 +133,7 @@ TwoDNas::InnerOutcome TwoDNas::inner_search(
     step.modeled_infer_seconds = pm.modeled_infer_seconds;
     step.encoding_miss = encoding_miss;
     step.elapsed_seconds = elapsed;
+    step.precision = pm.precision;
     outcome.steps.push_back(step);
     if (outcome.best.surrogate.net.layer_count() == 0 ||
         better_pipeline(pm, outcome.best, task.quality_bound)) {

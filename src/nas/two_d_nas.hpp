@@ -60,6 +60,10 @@ struct SearchStep {
   double modeled_infer_seconds = 0.0;
   double encoding_miss = 0.0;  ///< Eqn-1 miss fraction of the iteration's AE
   double elapsed_seconds = 0.0;
+  /// Execution mode the candidate was accepted at (kInt8 only when the task
+  /// runs with search_precision). Not serialized in checkpoints — a resumed
+  /// search re-derives it when it re-evaluates.
+  nn::Precision precision = nn::Precision::kFp32;
 };
 
 struct NasResult {

@@ -22,6 +22,14 @@
 
 namespace ahn::nn {
 
+struct QuantizedDense;  // nn/quantization.hpp
+
+/// Numeric execution mode for inference. Training always runs fp32; a layer
+/// switched to kInt8 serves through its calibrated QuantizedDense payload.
+enum class Precision : std::uint8_t { kFp32 = 0, kInt8 };
+
+[[nodiscard]] const char* precision_name(Precision p) noexcept;
+
 /// Base class of all layers. Forward caches whatever backward needs; a layer
 /// is therefore stateful per-batch (one in-flight batch at a time), which
 /// matches how the training loop drives it.
@@ -94,10 +102,22 @@ class DenseLayer final : public Layer {
   [[nodiscard]] const Tensor& bias() const noexcept { return b_; }
   [[nodiscard]] Tensor& mutable_bias() noexcept { return b_; }
 
+  /// Installs a calibrated int8 payload (nn/quantization.hpp builds it) and
+  /// switches inference to kInt8. The payload is immutable once installed —
+  /// concurrent serving threads share it through the shared_ptr.
+  void set_quantized(std::shared_ptr<const QuantizedDense> q);
+  /// Switches execution mode. kInt8 requires an installed payload.
+  void set_precision(Precision p);
+  [[nodiscard]] Precision precision() const noexcept { return precision_; }
+  [[nodiscard]] bool has_quantized() const noexcept { return quant_ != nullptr; }
+  [[nodiscard]] const QuantizedDense* quantized() const noexcept { return quant_.get(); }
+
  private:
   std::size_t in_, out_;
   Tensor w_, b_, gw_, gb_;
   Tensor x_cache_;
+  std::shared_ptr<const QuantizedDense> quant_;
+  Precision precision_ = Precision::kFp32;
 };
 
 /// Pointwise activation layer.

@@ -3,9 +3,19 @@
 #include <cmath>
 #include <sstream>
 
+#include "nn/quantization.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/quantize.hpp"
 
 namespace ahn::nn {
+
+const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::kFp32: return "fp32";
+    case Precision::kInt8: return "int8";
+  }
+  return "?";
+}
 
 const char* activation_name(Activation a) noexcept {
   switch (a) {
@@ -53,9 +63,45 @@ DenseLayer::DenseLayer(std::size_t in, std::size_t out, Rng& rng)
 
 Tensor DenseLayer::forward(const Tensor& x, bool training) {
   AHN_CHECK_MSG(x.cols() == in_, "dense: got " << x.cols() << " features, want " << in_);
+  if (!training && precision_ == Precision::kInt8 &&
+      ops::kernel_is_int8(quant_->kernel)) {
+    // Quantized serving path: static calibrated activation params + a kernel
+    // choice resolved at install time, so each output row is a pure function
+    // of its input row — bitwise identical at any batch size.
+    const std::size_t m = x.rows();
+    std::vector<std::int16_t> x16(m * in_);
+    quant::quantize(x.flat(), quant_->in_q, x16.data());
+    Tensor y({m, out_});
+    const auto kind = quant_->kernel == ops::KernelChoice::kInt8Row
+                          ? quant::Int8Kernel::Row
+                          : quant::Int8Kernel::Dot;
+    quant::i8_gemm(kind, m, out_, in_, x16.data(), quant_->wt16.data(),
+                   quant_->w16.data(), quant_->wt_colsum.data(), quant_->in_q,
+                   quant_->w_q, b_.data(), ops::EpilogueAct::None, y.flat().data());
+    FlopCounter::instance().add(
+        {/*flops=*/2ULL * m * out_ * in_ + m * (in_ + out_),
+         /*bytes_read=*/m * in_ * (sizeof(double) + sizeof(std::int16_t)) +
+             out_ * (sizeof(std::int16_t) * in_ + sizeof(double) * 2),
+         /*bytes_written=*/sizeof(double) * m * out_ + sizeof(std::int16_t) * m * in_});
+    return y;
+  }
+  AHN_CHECK_MSG(!(training && precision_ == Precision::kInt8),
+                "int8 layers cannot train; set_precision(kFp32) first");
   if (training) x_cache_ = x;
   // Bias fused into the GEMM write-back; activation stays a separate layer.
   return ops::matmul_epilogue(x, w_, &b_, ops::EpilogueAct::None);
+}
+
+void DenseLayer::set_quantized(std::shared_ptr<const QuantizedDense> q) {
+  AHN_CHECK(q != nullptr && q->in == in_ && q->out == out_);
+  quant_ = std::move(q);
+  precision_ = Precision::kInt8;
+}
+
+void DenseLayer::set_precision(Precision p) {
+  AHN_CHECK_MSG(p != Precision::kInt8 || quant_ != nullptr,
+                "set_precision(kInt8) before set_quantized");
+  precision_ = p;
 }
 
 Tensor DenseLayer::backward(const Tensor& grad_out) {
@@ -73,6 +119,17 @@ Tensor DenseLayer::backward(const Tensor& grad_out) {
 OpCounts DenseLayer::inference_cost(std::size_t batch) const {
   OpCounts c;
   c.flops = 2ULL * batch * in_ * out_ + batch * out_;
+  if (precision_ == Precision::kInt8 && quant_ != nullptr &&
+      ops::kernel_is_int8(quant_->kernel)) {
+    // Quantize pass over the input, then 2-byte weight/activation streams
+    // (int8-valued codes in int16 storage; see tensor/quantize.hpp).
+    c.flops += batch * in_;
+    c.bytes_read = batch * in_ * (sizeof(double) + sizeof(std::int16_t)) +
+                   sizeof(std::int16_t) * in_ * out_ + sizeof(double) * 2 * out_;
+    c.bytes_written =
+        sizeof(double) * batch * out_ + sizeof(std::int16_t) * batch * in_;
+    return c;
+  }
   c.bytes_read = sizeof(double) * (batch * in_ + in_ * out_ + out_);
   c.bytes_written = sizeof(double) * batch * out_;
   return c;
@@ -81,6 +138,9 @@ OpCounts DenseLayer::inference_cost(std::size_t batch) const {
 std::string DenseLayer::describe() const {
   std::ostringstream os;
   os << "dense(" << in_ << "->" << out_ << ")";
+  if (precision_ == Precision::kInt8) {
+    os << "[int8/" << ops::kernel_choice_name(quant_->kernel) << "]";
+  }
   return os.str();
 }
 

@@ -230,6 +230,28 @@ std::size_t Network::activation_bytes_checkpointed(std::size_t batch,
   return boundary_bytes + worst_segment;
 }
 
+std::size_t Network::set_precision(Precision p) {
+  std::size_t switched = 0;
+  for (auto& layer : layers_) {
+    auto* d = dynamic_cast<DenseLayer*>(layer.get());
+    if (d == nullptr) continue;
+    if (p == Precision::kInt8 && !d->has_quantized()) continue;
+    if (d->precision() != p) {
+      d->set_precision(p);
+      ++switched;
+    }
+  }
+  return switched;
+}
+
+Precision Network::precision() const noexcept {
+  for (const auto& layer : layers_) {
+    const auto* d = dynamic_cast<const DenseLayer*>(layer.get());
+    if (d != nullptr && d->precision() == Precision::kInt8) return Precision::kInt8;
+  }
+  return Precision::kFp32;
+}
+
 std::string Network::describe() const {
   std::ostringstream os;
   os << "net[";

@@ -76,6 +76,14 @@ class Network {
                                                           std::size_t in_features,
                                                           std::size_t segments) const;
 
+  /// Switches every dense layer holding a quantized payload to `p`; returns
+  /// how many layers switched. kInt8 is a no-op for layers never calibrated
+  /// (they keep serving fp32 — a partially-quantized net is still valid).
+  std::size_t set_precision(Precision p);
+
+  /// kInt8 iff at least one dense layer currently serves int8.
+  [[nodiscard]] Precision precision() const noexcept;
+
   [[nodiscard]] std::string describe() const;
 
   /// Text serialization (architecture is NOT serialized — weights only; the

@@ -1,0 +1,68 @@
+#pragma once
+// Network-level post-training quantization: walks a trained Network, runs a
+// calibration forward pass over representative inputs, and installs an
+// immutable int8 payload into every DenseLayer. DeploymentPackage::build
+// drives this during packaging, so quantized weights travel inside the model
+// and replicate through ModelRegistry / cluster deploy fan-out for free.
+//
+// Serving invariants:
+//  * activation parameters are static (calibrated once, never derived from
+//    the batch being served) — a row's quantized codes are independent of
+//    its batch-mates, preserving the batched == per-row bitwise guarantee;
+//  * each layer's kernel choice is resolved once here, probing a fixed
+//    serving-representative reference shape (32, out, in); serving never
+//    re-probes, so batch size cannot steer numerics (see
+//    tensor/kernel_select.hpp).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "nn/train.hpp"
+#include "tensor/kernel_select.hpp"
+#include "tensor/quantize.hpp"
+
+namespace ahn::nn {
+
+/// Immutable calibrated int8 payload for one DenseLayer. Codes are
+/// int8-valued but stored widened to int16, the format the vectorized
+/// kernels consume (see tensor/quantize.hpp). Both weight layouts are
+/// materialized so whichever kernel the selector resolved streams its
+/// preferred one; the duplicate pair costs 4*in*out bytes — half of the
+/// fp64 weights it replaces, and the layout actually served stays 4x
+/// smaller.
+struct QuantizedDense {
+  std::size_t in = 0, out = 0;
+  quant::QuantParams in_q;           ///< calibrated activation params
+  quant::QuantParams w_q;            ///< symmetric weight params (zp == 0)
+  std::vector<std::int16_t> w16;     ///< (in x out) row-major, Row layout
+  std::vector<std::int16_t> wt16;    ///< (out x in) row-major, Dot layout
+  std::vector<std::int32_t> wt_colsum;  ///< per-output weight sums (zp fixup)
+  ops::KernelChoice kernel = ops::KernelChoice::kFp32Fast;  ///< resolved once
+};
+
+struct QuantizationOptions {
+  quant::CalibOptions calib;  ///< activation calibration (percentile default)
+  /// When false the selector probe is skipped and every layer serves the
+  /// int8 Dot kernel — used by tests that need probe-free determinism.
+  bool probe_kernels = true;
+};
+
+/// Builds the payload for one dense layer given its calibrated input params.
+[[nodiscard]] std::shared_ptr<const QuantizedDense> build_quantized_dense(
+    const Tensor& weights, const quant::QuantParams& in_q, const QuantizationOptions& opts);
+
+/// Calibrates on `inputs` (batch x in_features, already in the network's
+/// input domain — normalize first for a TrainedSurrogate), installs payloads
+/// and switches every DenseLayer to kInt8. Returns the number of layers
+/// quantized. The network must not be mid-training.
+std::size_t quantize_network(Network& net, const Tensor& inputs,
+                             const QuantizationOptions& opts = {});
+
+/// Convenience wrapper for a TrainedSurrogate: applies x_norm to raw inputs,
+/// calibrates, quantizes the wrapped network. Returns layers quantized.
+std::size_t quantize_surrogate(TrainedSurrogate& model, const Tensor& raw_inputs,
+                               const QuantizationOptions& opts = {});
+
+}  // namespace ahn::nn

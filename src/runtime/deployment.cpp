@@ -21,6 +21,35 @@ DeploymentPackage DeploymentPackage::build(std::string name,
   return pkg;
 }
 
+namespace {
+
+/// Calibrate + quantize `model` in place on the pre-encode training rows.
+std::size_t quantize_model(ServableModel& model, const Tensor& raw_inputs,
+                           const nn::QuantizationOptions& opts) {
+  // The surrogate consumes post-encoder rows; calibrate on exactly those.
+  const Tensor calib = model.encode ? model.encode(raw_inputs) : raw_inputs;
+  const std::size_t n = nn::quantize_surrogate(model.surrogate, calib, opts);
+  model.infer_ops = model.surrogate.net.inference_cost(1);
+  return n;
+}
+
+}  // namespace
+
+DeploymentPackage DeploymentPackage::build(std::string name, ServableModel model,
+                                           const Tensor& training_inputs,
+                                           const QuantizeSpec& spec) {
+  if (spec.enabled) quantize_model(model, training_inputs, spec.options);
+  return build(std::move(name),
+               std::make_shared<const ServableModel>(std::move(model)), training_inputs);
+}
+
+ServableModel quantized_servable(const ServableModel& base, const Tensor& raw_inputs,
+                                 const nn::QuantizationOptions& opts) {
+  ServableModel copy = base;  // deep copy: Network assignment clones layers
+  quantize_model(copy, raw_inputs, opts);
+  return copy;
+}
+
 DeployedSurrogate::DeployedSurrogate(
     std::shared_ptr<const autoencoder::Autoencoder> encoder,
     nn::TrainedSurrogate surrogate, DeviceModel device)
@@ -37,7 +66,10 @@ InferenceTiming DeployedSurrogate::timing_for(std::size_t input_bytes,
     t.encode_seconds = device_.kernel_seconds(encode_ops_, nn_inference_profile());
   }
   t.load_seconds = device_.spec().model_load_latency;
-  t.run_seconds = device_.kernel_seconds(infer_ops_, nn_inference_profile()) +
+  const WorkloadProfile run_profile = surrogate_.net.precision() == nn::Precision::kInt8
+                                          ? nn_int8_inference_profile()
+                                          : nn_inference_profile();
+  t.run_seconds = device_.kernel_seconds(infer_ops_, run_profile) +
                   device_.transfer_seconds(sizeof(double) * output_count);
   return t;
 }

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "autoencoder/autoencoder.hpp"
+#include "nn/quantization.hpp"
 #include "nn/train.hpp"
 #include "obs/monitor.hpp"
 #include "runtime/device.hpp"
@@ -22,6 +23,16 @@
 #include "sparse/formats.hpp"
 
 namespace ahn::runtime {
+
+/// Opt-in int8 packaging: when enabled, DeploymentPackage::build runs the
+/// calibrator over the training inputs (through the encoder when present)
+/// and installs quantized payloads before the model is frozen — so the int8
+/// weights live inside the ServableModel and replicate through ModelRegistry
+/// versioning and cluster deploy fan-out with no extra plumbing.
+struct QuantizeSpec {
+  bool enabled = false;
+  nn::QuantizationOptions options;
+};
 
 /// Everything a surrogate needs to go live: the servable model plus the
 /// training-set reference sketch drift detection compares live inputs to.
@@ -39,7 +50,21 @@ struct DeploymentPackage {
   [[nodiscard]] static DeploymentPackage build(std::string name,
                                                std::shared_ptr<const ServableModel> model,
                                                const Tensor& training_inputs);
+
+  /// Quantizing overload: takes the model by value, calibrates + quantizes
+  /// per `spec`, refreshes infer_ops for the int8 cost model, then freezes.
+  [[nodiscard]] static DeploymentPackage build(std::string name, ServableModel model,
+                                               const Tensor& training_inputs,
+                                               const QuantizeSpec& spec);
 };
+
+/// Deep-copies `base`, calibrates on `raw_inputs` (the same pre-encode rows
+/// serving sees) and switches the copy to int8. The returned model is a
+/// drop-in rollout candidate: install_candidate + begin_rollout put it
+/// behind the identical shadow/canary/QoI machinery a retrained model gets.
+[[nodiscard]] ServableModel quantized_servable(const ServableModel& base,
+                                               const Tensor& raw_inputs,
+                                               const nn::QuantizationOptions& opts = {});
 
 struct InferenceTiming {
   double fetch_seconds = 0.0;

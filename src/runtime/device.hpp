@@ -42,6 +42,13 @@ struct WorkloadProfile {
 [[nodiscard]] constexpr WorkloadProfile nn_inference_profile() noexcept {
   return {0.60, 0.70};
 }
+/// Int8 dense inference. compute_efficiency is expressed as a fraction of
+/// the SAME fp32 peak the spec quotes: accelerator int8 dot units sustain
+/// roughly 4x the fp32 FMA rate, so 0.60 * 4 = 2.40 "fp32-equivalent"
+/// efficiency prices a quantized GEMM ~4x cheaper at equal FLOP count.
+[[nodiscard]] constexpr WorkloadProfile nn_int8_inference_profile() noexcept {
+  return {2.40, 0.70};
+}
 /// Irregular sparse solver ported to the device (AMGX-like comparator).
 [[nodiscard]] constexpr WorkloadProfile sparse_solver_profile() noexcept {
   return {0.04, 0.35};

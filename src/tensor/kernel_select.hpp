@@ -1,0 +1,62 @@
+#pragma once
+// Per-shape kernel selection for the dense forward path (ROADMAP items 3/5).
+// The Goto-style blocked GEMM is tuned for large square panels, but served
+// surrogates run skinny products (batch x small-hidden); for those shapes the
+// naive loop or the int8 path often wins. KernelSelector times each candidate
+// on the actual (M, N, K) once, caches the winner, and answers subsequent
+// lookups from the cache.
+//
+// Numerics note: the int8 variants accumulate exactly in int32, so choosing
+// between them is bitwise-free. The two fp32 variants can differ in the last
+// bit for K > 256 (different summation grouping), which is why the serving
+// layer resolves one choice per layer at quantization-install time and never
+// re-probes per batch — see DenseLayer::set_quantized.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/quantize.hpp"
+
+namespace ahn::ops {
+
+enum class KernelChoice : std::uint8_t {
+  kFp32Fast = 0,  ///< blocked/packed detail::gemm (the PR-3 fast path)
+  kFp32Naive,     ///< plain row-parallel triple loop
+  kInt8Dot,       ///< quant::i8_gemm Dot variant (transposed weights)
+  kInt8Row,       ///< quant::i8_gemm Row variant (gemm_small-style)
+};
+
+[[nodiscard]] const char* kernel_choice_name(KernelChoice c) noexcept;
+[[nodiscard]] inline bool kernel_is_int8(KernelChoice c) noexcept {
+  return c == KernelChoice::kInt8Dot || c == KernelChoice::kInt8Row;
+}
+
+/// Process-wide cached runtime probe keyed on (M, N, K, allow_int8).
+/// Thread-safe; a probe for an uncached shape runs under a shared_mutex
+/// upgrade so concurrent callers of a cached shape never serialize.
+class KernelSelector {
+ public:
+  static KernelSelector& instance();
+
+  /// Returns the fastest kernel for an (m x k) * (k x n) dense forward.
+  /// With allow_int8 = false only the two fp32 variants compete.
+  KernelChoice choose(std::size_t m, std::size_t n, std::size_t k, bool allow_int8);
+
+  [[nodiscard]] std::size_t cache_size() const;
+  [[nodiscard]] std::uint64_t probes() const noexcept;
+  [[nodiscard]] std::uint64_t hits() const noexcept;
+  void clear();
+
+  /// Repetitions per candidate measurement (best-of). Tests lower this.
+  void set_probe_reps(int reps);
+
+ private:
+  KernelSelector() = default;
+  KernelChoice probe(std::size_t m, std::size_t n, std::size_t k, bool allow_int8) const;
+
+  struct Impl;
+  Impl* impl();
+  const Impl* impl() const;
+};
+
+}  // namespace ahn::ops
