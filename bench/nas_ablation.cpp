@@ -3,9 +3,25 @@
 // over the concatenated (K, theta) vector — the encoding §5.2 argues
 // against — and (b) fixed-K searches that skip the outer loop entirely.
 // Reported: best feasible f_e / f_c and wall time at equal budgets.
+//
+// Extended with the population-based LTFB arms (docs/NAS.md): P independent
+// 2D searchers with tournament elite exchange, at P in {1, 2, 4, 8}. Each
+// worker gets the SAME per-worker budget as the serial hierarchical arm
+// (3 rounds x budget/3 inner iterations), so the ideal wall-clock of every
+// LTFB arm equals the serial arm while total exploration scales with P.
+// Two CI gates, both fatal (non-zero exit):
+//   1. quality  — the P=8 population is same-or-better than hierarchical 2D
+//      BO under the task's quality bound (the LTFB promise: more workers at
+//      equal wall-clock must not cost quality);
+//   2. determinism — the P=2 configuration is bitwise-identical when run
+//      serially and on pools of 1 and 2 threads (the ltfb.hpp contract).
+// Emits BENCH_nas_ltfb.json plus BENCH_nas_ltfb.prom for the CI smoke.
 
+#include <fstream>
 #include <iostream>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "apps/registry.hpp"
 #include "bench/bench_util.hpp"
@@ -13,11 +29,55 @@
 #include "common/timer.hpp"
 #include "core/pipeline.hpp"
 #include "nas/baseline_searchers.hpp"
+#include "nas/ltfb.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+using namespace ahn;
+
+bool same_spec(const nn::TopologySpec& a, const nn::TopologySpec& b) {
+  return a.kind == b.kind && a.num_layers == b.num_layers &&
+         a.hidden_units == b.hidden_units && a.channels == b.channels &&
+         a.kernel == b.kernel && a.pool == b.pool && a.residual == b.residual &&
+         a.act == b.act;
+}
+
+/// Bitwise trajectory equality: every worker's step sequence and the global
+/// elite must match exactly (timings excluded — they are wall-clock).
+bool same_trajectory(const nas::PopulationResult& a, const nas::PopulationResult& b) {
+  if (a.found_feasible != b.found_feasible) return false;
+  if (a.best_worker != b.best_worker) return false;
+  if (a.workers.size() != b.workers.size()) return false;
+  for (std::size_t w = 0; w < a.workers.size(); ++w) {
+    const auto& wa = a.workers[w];
+    const auto& wb = b.workers[w];
+    if (wa.steps.size() != wb.steps.size()) return false;
+    for (std::size_t s = 0; s < wa.steps.size(); ++s) {
+      const nas::SearchStep& sa = wa.steps[s];
+      const nas::SearchStep& sb = wb.steps[s];
+      if (sa.latent_k != sb.latent_k || !same_spec(sa.spec, sb.spec) ||
+          sa.quality_error != sb.quality_error ||
+          sa.modeled_infer_seconds != sb.modeled_infer_seconds) {
+        return false;
+      }
+    }
+  }
+  return a.best.latent_k == b.best.latent_k && same_spec(a.best.spec, b.best.spec) &&
+         a.best.quality_error == b.best.quality_error &&
+         a.best.modeled_infer_seconds == b.best.modeled_infer_seconds &&
+         a.tournaments.size() == b.tournaments.size();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ahn;
-  bench::print_header("2D-NAS ablation: hierarchical vs flat joint vs fixed-K",
-                      "paper §5.2's design rationale");
+  bench::print_header(
+      "2D-NAS ablation: hierarchical vs flat joint vs fixed-K vs LTFB population",
+      "paper §5.2's design rationale + docs/NAS.md tournament exchange");
 
   core::Config cfg = bench::bench_config();
   for (int i = 1; i < argc; ++i) cfg.apply(argv[i]);
@@ -36,21 +96,25 @@ int main(int argc, char** argv) {
 
   const std::size_t budget = bench::scaled(12, 6);  // total candidate trainings
 
-  TextTable table({"strategy", "feasible", "best f_e", "best f_c (us)", "search s"});
-  auto report = [&](const std::string& name, const nas::NasResult& res, double secs) {
-    table.add_row({name, res.found_feasible ? "yes" : "no",
-                   TextTable::num(res.best.quality_error, 4),
-                   TextTable::num(1e6 * res.best.modeled_infer_seconds, 2),
-                   TextTable::num(secs, 2)});
+  TextTable table({"strategy", "feasible", "best f_e", "best f_c (us)", "evals",
+                   "search s"});
+  auto report = [&](const std::string& name, bool feasible,
+                    const nas::PipelineModel& best, std::size_t evals, double secs) {
+    table.add_row({name, feasible ? "yes" : "no",
+                   TextTable::num(best.quality_error, 4),
+                   TextTable::num(1e6 * best.modeled_infer_seconds, 2),
+                   std::to_string(evals), TextTable::num(secs, 2)});
   };
 
+  nas::NasResult hierarchical;
   {
     nas::NasOptions opts = cfg.nas_options();
     opts.outer_iterations = 3;
     opts.inner_iterations = budget / 3;
     const Timer t;
-    const nas::NasResult res = nas::TwoDNas(opts).search(task);
-    report("hierarchical 2D (Alg. 2)", res, t.seconds());
+    hierarchical = nas::TwoDNas(opts).search(task);
+    report("hierarchical 2D (Alg. 2)", hierarchical.found_feasible, hierarchical.best,
+           hierarchical.steps.size(), t.seconds());
   }
   {
     nas::FlatJointOptions opts;
@@ -60,7 +124,8 @@ int main(int argc, char** argv) {
     opts.ae_epochs = cfg.ae_epochs;
     const Timer t;
     const nas::NasResult res = nas::FlatJointNas(opts).search(task);
-    report("flat joint (K,theta) BO", res, t.seconds());
+    report("flat joint (K,theta) BO", res.found_feasible, res.best, res.steps.size(),
+           t.seconds());
   }
   {
     // Fixed-K: inner search only, at a K the outer loop would have to guess.
@@ -69,13 +134,130 @@ int main(int argc, char** argv) {
     opts.inner_iterations = budget;
     const Timer t;
     const nas::NasResult res = nas::TwoDNas(opts).search(task);
-    report("fixed: no reduction", res, t.seconds());
+    report("fixed: no reduction", res.found_feasible, res.best, res.steps.size(),
+           t.seconds());
   }
+
+  // --- LTFB population scaling curve -------------------------------------
+  // Per-worker budget mirrors the serial hierarchical arm exactly, so the
+  // ideal wall-clock is flat across P while exploration scales with P.
+  auto ltfb_options = [&](std::size_t population) {
+    nas::PopulationOptions popt;
+    popt.nas = cfg.nas_options();
+    popt.nas.inner_iterations = budget / 3;
+    popt.population = population;
+    popt.rounds = 3;
+    return popt;
+  };
+
+  obs::MetricsRegistry reg;
+  struct LtfbArm {
+    std::size_t population = 0;
+    nas::PopulationResult result;
+    double seconds = 0.0;
+  };
+  std::vector<LtfbArm> arms;
+  for (const std::size_t p : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                              std::size_t{8}}) {
+    nas::PopulationOptions popt = ltfb_options(p);
+    runtime::ThreadPool pool(p);
+    popt.pool = &pool;
+    const Timer t;
+    nas::PopulationResult res = nas::PopulationSearch(popt).search(task);
+    const double secs = t.seconds();
+    report("LTFB population P=" + std::to_string(p), res.found_feasible, res.best,
+           res.evaluations(), secs);
+    reg.counter("nas.ltfb.evaluations").increment(res.evaluations());
+    reg.counter("nas.ltfb.tournaments").increment(res.tournaments.size());
+    const std::string prefix = "nas.ltfb.p" + std::to_string(p);
+    reg.gauge(prefix + ".best_quality_error").set(res.best.quality_error);
+    reg.gauge(prefix + ".best_infer_us").set(1e6 * res.best.modeled_infer_seconds);
+    reg.gauge(prefix + ".search_seconds").set(secs);
+    arms.push_back({p, std::move(res), secs});
+  }
+
+  // Gate 1: at equal ideal wall-clock, the P=8 population must reach
+  // same-or-better validation quality than hierarchical 2D BO, without
+  // buying that quality with a large latency regression (10% guard on the
+  // modeled f_c).
+  const nas::PopulationResult& ltfb8 = arms.back().result;
+  const bool quality_ok =
+      ltfb8.found_feasible &&
+      (!hierarchical.found_feasible ||
+       (ltfb8.best.quality_error <= hierarchical.best.quality_error &&
+        ltfb8.best.modeled_infer_seconds <=
+            1.10 * hierarchical.best.modeled_infer_seconds));
+  reg.gauge("nas.ltfb.quality_gate_ok").set(quality_ok ? 1.0 : 0.0);
+
+  // Gate 2: the determinism contract — serial, pool(1) and pool(2) runs of
+  // the P=2 configuration must produce bitwise-identical trajectories.
+  bool determinism_ok = true;
+  {
+    const nas::PopulationOptions serial_opts = ltfb_options(2);
+    const nas::PopulationResult serial = nas::PopulationSearch(serial_opts).search(task);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+      nas::PopulationOptions popt = ltfb_options(2);
+      runtime::ThreadPool pool(threads);
+      popt.pool = &pool;
+      const nas::PopulationResult pooled = nas::PopulationSearch(popt).search(task);
+      if (!same_trajectory(serial, pooled)) {
+        std::cout << "FAIL: P=2 trajectory diverged on a " << threads
+                  << "-thread pool\n";
+        determinism_ok = false;
+      }
+    }
+  }
+  reg.gauge("nas.ltfb.determinism_ok").set(determinism_ok ? 1.0 : 0.0);
 
   std::cout << table.render()
             << "\nexpected shape: the hierarchical search matches or beats the flat\n"
                "joint encoding at equal budget (separating the K and theta GPs is\n"
-               "the paper's §5.2 argument), and beats no-reduction on f_c whenever\n"
-               "reduction is viable.\n";
-  return 0;
+               "the paper's §5.2 argument), beats no-reduction on f_c whenever\n"
+               "reduction is viable, and the LTFB population at P=8 matches or\n"
+               "beats the serial hierarchical arm at equal ideal wall-clock.\n";
+
+  {
+    std::ofstream json("BENCH_nas_ltfb.json");
+    json << "{\n"
+         << "  \"bench\": \"nas_ltfb\",\n"
+         << "  \"budget_per_worker\": " << budget << ",\n"
+         << "  \"hierarchical\": {\"feasible\": "
+         << (hierarchical.found_feasible ? "true" : "false")
+         << ", \"quality_error\": " << TextTable::num(hierarchical.best.quality_error, 6)
+         << ", \"infer_us\": "
+         << TextTable::num(1e6 * hierarchical.best.modeled_infer_seconds, 3) << "},\n"
+         << "  \"arms\": [\n";
+    for (std::size_t i = 0; i < arms.size(); ++i) {
+      const LtfbArm& arm = arms[i];
+      json << "    {\"population\": " << arm.population << ", \"feasible\": "
+           << (arm.result.found_feasible ? "true" : "false")
+           << ", \"quality_error\": "
+           << TextTable::num(arm.result.best.quality_error, 6) << ", \"infer_us\": "
+           << TextTable::num(1e6 * arm.result.best.modeled_infer_seconds, 3)
+           << ", \"evaluations\": " << arm.result.evaluations()
+           << ", \"tournaments\": " << arm.result.tournaments.size()
+           << ", \"best_worker\": " << arm.result.best_worker
+           << ", \"search_seconds\": " << TextTable::num(arm.seconds, 3) << "}"
+           << (i + 1 < arms.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"quality_gate_ok\": " << (quality_ok ? "true" : "false") << ",\n"
+         << "  \"determinism_ok\": " << (determinism_ok ? "true" : "false") << "\n"
+         << "}\n";
+  }
+  std::cout << "wrote BENCH_nas_ltfb.json\n";
+  if (!obs::export_prometheus_file("BENCH_nas_ltfb.prom", reg)) {
+    std::cout << "FAIL: prometheus export\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_nas_ltfb.prom\n";
+
+  if (!quality_ok) {
+    std::cout << "FAIL: LTFB P=8 lost to the serial hierarchical arm at equal "
+                 "wall-clock budget\n";
+  }
+  if (!determinism_ok) std::cout << "FAIL: LTFB determinism contract violated\n";
+  const bool ok = quality_ok && determinism_ok;
+  std::cout << (ok ? "PASS" : "FAIL") << "\n";
+  return ok ? 0 : 1;
 }

@@ -56,7 +56,7 @@ std::vector<double> BayesianOptimizer::propose() {
 }
 
 std::vector<std::vector<double>> BayesianOptimizer::propose_batch(std::size_t q) {
-  AHN_CHECK(q >= 1);
+  if (q == 0) return {};  // degenerate batch: nothing proposed, Rng untouched
   std::vector<std::vector<double>> batch;
   batch.reserve(q);
   if (q == 1) {

@@ -44,7 +44,8 @@ class BayesianOptimizer {
   /// (the incumbent objective at the feasibility boundary), so successive
   /// proposals avoid piling onto one spot. The fantasies are removed and the
   /// models refitted on real data before returning. propose_batch(1) draws
-  /// exactly the same point propose() would.
+  /// exactly the same point propose() would; propose_batch(0) returns an
+  /// empty batch without consuming randomness or touching the models.
   [[nodiscard]] std::vector<std::vector<double>> propose_batch(std::size_t q);
 
   void observe(BoObservation obs);

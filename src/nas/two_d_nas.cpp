@@ -35,31 +35,6 @@ nn::TopologySpec autokeras_default_spec() {
   return s;
 }
 
-/// Log-scaled K encoding for the 1-D outer GP.
-double encode_k(std::size_t k, std::size_t k_min, std::size_t k_max) {
-  if (k_max <= k_min) return 0.0;
-  const double lo = std::log2(static_cast<double>(k_min));
-  const double hi = std::log2(static_cast<double>(k_max));
-  return std::clamp((std::log2(static_cast<double>(k)) - lo) / (hi - lo), 0.0, 1.0);
-}
-
-std::size_t decode_k(double x, std::size_t k_min, std::size_t k_max) {
-  const double lo = std::log2(static_cast<double>(k_min));
-  const double hi = std::log2(static_cast<double>(k_max));
-  const double v = std::exp2(lo + std::clamp(x, 0.0, 1.0) * (hi - lo));
-  return std::clamp<std::size_t>(static_cast<std::size_t>(std::round(v)), k_min, k_max);
-}
-
-/// `a` dominates `b` as the searchers' incumbent: feasibility first, then
-/// objective (modeled inference time), then quality.
-bool better_pipeline(const PipelineModel& a, const PipelineModel& b, double bound) {
-  const bool fa = a.quality_error <= bound;
-  const bool fb = b.quality_error <= bound;
-  if (fa != fb) return fa;
-  if (fa) return a.modeled_infer_seconds < b.modeled_infer_seconds;
-  return a.quality_error < b.quality_error;
-}
-
 /// Memo-cache key for one topology under a given evaluation context.
 std::string spec_key(std::string prefix, const nn::TopologySpec& s) {
   prefix += std::to_string(static_cast<int>(s.kind));
@@ -82,17 +57,38 @@ std::string spec_key(std::string prefix, const nn::TopologySpec& s) {
 
 }  // namespace
 
-TwoDNas::InnerOutcome TwoDNas::inner_search(
-    const SearchTask& task, const nn::Dataset& reduced,
+double encode_latent_k(std::size_t k, std::size_t k_min, std::size_t k_max) {
+  if (k_max <= k_min) return 0.0;
+  const double lo = std::log2(static_cast<double>(k_min));
+  const double hi = std::log2(static_cast<double>(k_max));
+  return std::clamp((std::log2(static_cast<double>(k)) - lo) / (hi - lo), 0.0, 1.0);
+}
+
+std::size_t decode_latent_k(double x, std::size_t k_min, std::size_t k_max) {
+  const double lo = std::log2(static_cast<double>(k_min));
+  const double hi = std::log2(static_cast<double>(k_max));
+  const double v = std::exp2(lo + std::clamp(x, 0.0, 1.0) * (hi - lo));
+  return std::clamp<std::size_t>(static_cast<std::size_t>(std::round(v)), k_min, k_max);
+}
+
+bool better_pipeline(const PipelineModel& a, const PipelineModel& b, double bound) {
+  const bool fa = a.quality_error <= bound;
+  const bool fb = b.quality_error <= bound;
+  if (fa != fb) return fa;
+  if (fa) return a.modeled_infer_seconds < b.modeled_infer_seconds;
+  return a.quality_error < b.quality_error;
+}
+
+InnerOutcome inner_topology_search(
+    const NasOptions& options, const SearchTask& task, const nn::Dataset& reduced,
     std::shared_ptr<const autoencoder::Autoencoder> encoder, double encoding_miss,
-    std::size_t outer_iter, Rng& rng, EvalMemo& memo,
-    std::size_t iterations) const {
-  if (iterations == 0) iterations = options_.inner_iterations;
+    std::size_t outer_iter, Rng& rng, EvalMemo& memo, std::size_t iterations) {
+  if (iterations == 0) iterations = options.inner_iterations;
   const obs::Span search_span(obs::Tracer::global(), "nas.inner_search");
   gp::BoOptions bo_opts;
   bo_opts.dim = nn::TopologySpace::encoded_dim();
   bo_opts.constraint_threshold = task.quality_bound;
-  bo_opts.init_samples = options_.bayesian_init;
+  bo_opts.init_samples = options.bayesian_init;
   gp::BayesianOptimizer bo(bo_opts, rng.fork());
 
   // Memo keys: unreduced evaluations are valid search-wide ("full"); an
@@ -175,8 +171,8 @@ TwoDNas::InnerOutcome TwoDNas::inner_search(
         f.seconds = step_timer.seconds();
         return f;
       };
-      if (options_.pool != nullptr) {
-        futures[i] = options_.pool->submit(std::move(job));
+      if (options.pool != nullptr) {
+        futures[i] = options.pool->submit(std::move(job));
       } else {
         fresh[i] = job();
       }
@@ -197,14 +193,14 @@ TwoDNas::InnerOutcome TwoDNas::inner_search(
     }
   };
 
-  const std::size_t batch = std::max<std::size_t>(1, options_.eval_batch);
+  const std::size_t batch = std::max<std::size_t>(1, options.eval_batch);
 
   // Seed evaluations (the BO's initial design): the configured starting
   // topology (§6.1 searchType), plus a wide linear probe — HPC code regions
   // are frequently near-linear operators (solvers, transforms), and giving
   // the GP that anchor point early steers the search decisively.
-  const nn::TopologySpec seed_spec = options_.search_type == SearchType::UserModel
-                                         ? options_.user_model
+  const nn::TopologySpec seed_spec = options.search_type == SearchType::UserModel
+                                         ? options.user_model
                                          : autokeras_default_spec();
   std::vector<Draft> seeds;
   seeds.push_back(draft(seed_spec, task.space.encode(seed_spec)));
@@ -238,6 +234,52 @@ TwoDNas::InnerOutcome TwoDNas::inner_search(
   return outcome;
 }
 
+OuterIterate run_outer_iterate(const NasOptions& options, const SearchTask& task,
+                               std::size_t k, std::size_t outer_iter, Rng& rng,
+                               EvalMemo& memo) {
+  const std::size_t in_width = task.data.in_features();
+  OuterIterate iterate;
+  iterate.latent_k = k;
+
+  // Train this iteration's autoencoder (§4.3: one fresh autoencoder per
+  // outer-loop iteration, sparse path when available).
+  const Timer ae_timer;
+  autoencoder::AutoencoderConfig acfg;
+  acfg.latent_dim = k;
+  acfg.epochs = options.ae_epochs;
+  acfg.encoding_loss_bound = task.encoding_loss_bound;
+  acfg.seed = rng.next_u64();
+  auto ae = std::make_shared<autoencoder::Autoencoder>(in_width, acfg);
+  autoencoder::AutoencoderReport ae_rep;
+  {
+    const obs::Span ae_span(obs::Tracer::global(), "nas.autoencoder_train");
+    ae_rep = task.sparse_x != nullptr ? ae->train_sparse(*task.sparse_x)
+                                      : ae->train(task.data.x);
+  }
+  iterate.autoencoder_seconds = ae_timer.seconds();
+  iterate.encoding_miss = ae_rep.miss_fraction;
+  iterate.ae_meets_bound = ae_rep.meets_bound;
+
+  // Encoder-model inference: reduce the training features once.
+  nn::Dataset reduced;
+  reduced.x = task.sparse_x != nullptr ? ae->encode_sparse(*task.sparse_x)
+                                       : ae->encode(task.data.x);
+  reduced.y = task.data.y;
+
+  iterate.inner = inner_topology_search(options, task, reduced, ae,
+                                        ae_rep.miss_fraction, outer_iter, rng, memo);
+
+  // The outer GP's f_e: the inner loop's best, inflated past the feasibility
+  // threshold when the autoencoder violates its encoding bound (Eqn 1) so
+  // the whole iterate reads infeasible.
+  iterate.outer_constraint = iterate.inner.best.quality_error;
+  if (!ae_rep.meets_bound) {
+    iterate.outer_constraint = std::max(iterate.outer_constraint,
+                                        task.quality_bound * 2.0 + ae_rep.miss_fraction);
+  }
+  return iterate;
+}
+
 NasResult TwoDNas::search(const SearchTask& task) const { return search_from(task, {}); }
 
 NasResult TwoDNas::search_from(const SearchTask& task,
@@ -255,7 +297,8 @@ NasResult TwoDNas::search_from(const SearchTask& task,
   // FullInput mode (Table 1 searchType (3)): no feature reduction at all —
   // a single inner search on the raw features.
   if (options_.search_type == SearchType::FullInput || in_width <= options_.k_min) {
-    InnerOutcome inner = inner_search(task, task.data, nullptr, 0.0, 0, rng, memo);
+    InnerOutcome inner =
+        inner_topology_search(options_, task, task.data, nullptr, 0.0, 0, rng, memo);
     result.steps.insert(result.steps.end(), inner.steps.begin(), inner.steps.end());
     result.best = std::move(inner.best);
     result.found_feasible = result.best.quality_error <= task.quality_bound;
@@ -272,8 +315,9 @@ NasResult TwoDNas::search_from(const SearchTask& task,
   {
     // Wide full-width candidates are the expensive ones to train; a short
     // reference arm (2 evaluations) is enough to anchor the comparison.
-    InnerOutcome full = inner_search(task, task.data, nullptr, 0.0, 0, rng, memo,
-                                     std::min<std::size_t>(2, options_.inner_iterations));
+    InnerOutcome full =
+        inner_topology_search(options_, task, task.data, nullptr, 0.0, 0, rng, memo,
+                              std::min<std::size_t>(2, options_.inner_iterations));
     result.steps.insert(result.steps.end(), full.steps.begin(), full.steps.end());
     result.best = std::move(full.best);
   }
@@ -287,8 +331,8 @@ NasResult TwoDNas::search_from(const SearchTask& task,
   // Warm start from prior checkpointed steps.
   for (const SearchStep& s : prior) {
     if (s.latent_k > 0) {
-      outer.observe({{encode_k(s.latent_k, k_min, k_max)}, s.modeled_infer_seconds,
-                     s.quality_error});
+      outer.observe({{encode_latent_k(s.latent_k, k_min, k_max)},
+                     s.modeled_infer_seconds, s.quality_error});
     }
   }
 
@@ -298,43 +342,15 @@ NasResult TwoDNas::search_from(const SearchTask& task,
   for (std::size_t outer_iter = 0; outer_iter < options_.outer_iterations; ++outer_iter) {
     const obs::Span outer_span(obs::Tracer::global(), "nas.outer_iteration");
     const std::vector<double> xk = outer.propose();
-    const std::size_t k = decode_k(xk[0], k_min, k_max);
+    const std::size_t k = decode_latent_k(xk[0], k_min, k_max);
     AHN_INFO_C("nas", "2D-NAS outer " << outer_iter << ": K = " << k);
 
-    // Train this iteration's autoencoder (§4.3: one fresh autoencoder per
-    // outer-loop iteration, sparse path when available).
-    const Timer ae_timer;
-    autoencoder::AutoencoderConfig acfg;
-    acfg.latent_dim = k;
-    acfg.epochs = options_.ae_epochs;
-    acfg.encoding_loss_bound = task.encoding_loss_bound;
-    acfg.seed = rng.next_u64();
-    auto ae = std::make_shared<autoencoder::Autoencoder>(in_width, acfg);
-    autoencoder::AutoencoderReport ae_rep;
-    {
-      const obs::Span ae_span(obs::Tracer::global(), "nas.autoencoder_train");
-      ae_rep = task.sparse_x != nullptr ? ae->train_sparse(*task.sparse_x)
-                                        : ae->train(task.data.x);
-    }
-    result.autoencoder_train_seconds += ae_timer.seconds();
-
-    // Encoder-model inference: reduce the training features once.
-    nn::Dataset reduced;
-    reduced.x = task.sparse_x != nullptr ? ae->encode_sparse(*task.sparse_x)
-                                         : ae->encode(task.data.x);
-    reduced.y = task.data.y;
-
-    InnerOutcome inner =
-        inner_search(task, reduced, ae, ae_rep.miss_fraction, outer_iter, rng, memo);
+    OuterIterate iterate = run_outer_iterate(options_, task, k, outer_iter, rng, memo);
+    result.autoencoder_train_seconds += iterate.autoencoder_seconds;
+    InnerOutcome& inner = iterate.inner;
     result.steps.insert(result.steps.end(), inner.steps.begin(), inner.steps.end());
 
-    // Outer observation: the inner loop's best (f_c, f_e); an autoencoder
-    // that violates the encoding bound renders the whole iterate infeasible.
-    double constraint = inner.best.quality_error;
-    if (!ae_rep.meets_bound) {
-      constraint = std::max(constraint, task.quality_bound * 2.0 + ae_rep.miss_fraction);
-    }
-    outer.observe({xk, inner.best.modeled_infer_seconds, constraint});
+    outer.observe({xk, inner.best.modeled_infer_seconds, iterate.outer_constraint});
 
     if (result.best.surrogate.net.layer_count() == 0 ||
         better_pipeline(inner.best, result.best, task.quality_bound)) {

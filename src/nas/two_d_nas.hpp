@@ -76,6 +76,57 @@ struct NasResult {
   [[nodiscard]] std::size_t evaluations() const noexcept { return steps.size(); }
 };
 
+/// Outcome of one inner (theta) search — shared between the hierarchical
+/// searcher and the LTFB population workers (nas/ltfb.hpp).
+struct InnerOutcome {
+  PipelineModel best;
+  std::vector<SearchStep> steps;
+};
+
+/// Memoizes completed (K, theta) evaluations across one search stream so a
+/// re-proposed candidate is never retrained. Keys qualify the spec with the
+/// outer iteration (each iteration trains a fresh autoencoder) or with
+/// "full" for unreduced evaluations, which stay valid search-wide. Each
+/// population worker owns its own memo — cached models never cross workers.
+using EvalMemo = std::unordered_map<std::string, PipelineModel>;
+
+/// Log-scaled K encoding for the 1-D outer GP (and its inverse). decode
+/// clamps to [k_min, k_max], so any perturbed encoding stays in bounds.
+[[nodiscard]] double encode_latent_k(std::size_t k, std::size_t k_min, std::size_t k_max);
+[[nodiscard]] std::size_t decode_latent_k(double x, std::size_t k_min, std::size_t k_max);
+
+/// `a` dominates `b` as the searchers' incumbent: feasibility first, then
+/// objective (modeled inference time), then quality. Also the LTFB
+/// tournament verdict.
+[[nodiscard]] bool better_pipeline(const PipelineModel& a, const PipelineModel& b,
+                                   double bound);
+
+/// One inner BO over topology theta on (optionally reduced) features.
+/// Proposal drafting, Rng forking and memoization run on the caller's
+/// thread in proposal order, so the outcome is independent of how (or
+/// whether) candidate training is parallelized on options.pool.
+[[nodiscard]] InnerOutcome inner_topology_search(
+    const NasOptions& options, const SearchTask& task, const nn::Dataset& reduced,
+    std::shared_ptr<const autoencoder::Autoencoder> encoder, double encoding_miss,
+    std::size_t outer_iter, Rng& rng, EvalMemo& memo, std::size_t iterations = 0);
+
+/// One outer-loop iterate at a fixed K: trains the iteration's fresh
+/// autoencoder, reduces the features, runs the inner search. The returned
+/// `outer_constraint` is the f_e the outer GP should observe — inflated past
+/// the feasibility threshold when the autoencoder misses its encoding bound.
+struct OuterIterate {
+  InnerOutcome inner;
+  std::size_t latent_k = 0;
+  double encoding_miss = 0.0;
+  bool ae_meets_bound = true;
+  double autoencoder_seconds = 0.0;
+  double outer_constraint = 0.0;
+};
+[[nodiscard]] OuterIterate run_outer_iterate(const NasOptions& options,
+                                             const SearchTask& task, std::size_t k,
+                                             std::size_t outer_iter, Rng& rng,
+                                             EvalMemo& memo);
+
 class TwoDNas {
  public:
   explicit TwoDNas(NasOptions options) : options_(options) {}
@@ -92,23 +143,6 @@ class TwoDNas {
                                       const std::vector<SearchStep>& prior) const;
 
  private:
-  struct InnerOutcome {
-    PipelineModel best;
-    std::vector<SearchStep> steps;
-  };
-
-  /// Memoizes completed (K, theta) evaluations across the whole search so a
-  /// re-proposed candidate is never retrained. Keys qualify the spec with
-  /// the outer iteration (each iteration trains a fresh autoencoder) or with
-  /// "full" for unreduced evaluations, which stay valid search-wide.
-  using EvalMemo = std::unordered_map<std::string, PipelineModel>;
-
-  [[nodiscard]] InnerOutcome inner_search(
-      const SearchTask& task, const nn::Dataset& reduced,
-      std::shared_ptr<const autoencoder::Autoencoder> encoder, double encoding_miss,
-      std::size_t outer_iter, Rng& rng, EvalMemo& memo,
-      std::size_t iterations = 0) const;
-
   NasOptions options_;
 };
 

@@ -44,13 +44,18 @@ class Layer {
   virtual Tensor backward(const Tensor& grad_out) = 0;
 
   /// Trainable parameter / gradient views (same order). Empty by default.
+  /// Taking params() signals intent to MUTATE: layers deriving serving state
+  /// from their weights (DenseLayer's calibrated int8 payload) invalidate it
+  /// on the spot. Use const_params() for read-only access.
   virtual std::vector<Tensor*> params() { return {}; }
   virtual std::vector<Tensor*> grads() { return {}; }
+  /// Read-only parameter views in params() order; never invalidates.
+  [[nodiscard]] virtual std::vector<const Tensor*> const_params() const { return {}; }
 
   /// Total trainable scalar count.
-  [[nodiscard]] std::size_t param_count() {
+  [[nodiscard]] std::size_t param_count() const {
     std::size_t n = 0;
-    for (const Tensor* p : params()) n += p->size();
+    for (const Tensor* p : const_params()) n += p->size();
     return n;
   }
 
@@ -88,8 +93,12 @@ class DenseLayer final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& grad_out) override;
-  std::vector<Tensor*> params() override { return {&w_, &b_}; }
+  std::vector<Tensor*> params() override {
+    note_weights_mutated();
+    return {&w_, &b_};
+  }
   std::vector<Tensor*> grads() override { return {&gw_, &gb_}; }
+  std::vector<const Tensor*> const_params() const override { return {&w_, &b_}; }
   [[nodiscard]] OpCounts inference_cost(std::size_t batch) const override;
   [[nodiscard]] std::size_t out_features(std::size_t) const override { return out_; }
   [[nodiscard]] std::string describe() const override;
@@ -98,9 +107,15 @@ class DenseLayer final : public Layer {
 
   [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
   [[nodiscard]] const Tensor& weights() const noexcept { return w_; }
-  [[nodiscard]] Tensor& mutable_weights() noexcept { return w_; }
+  [[nodiscard]] Tensor& mutable_weights() noexcept {
+    note_weights_mutated();
+    return w_;
+  }
   [[nodiscard]] const Tensor& bias() const noexcept { return b_; }
-  [[nodiscard]] Tensor& mutable_bias() noexcept { return b_; }
+  [[nodiscard]] Tensor& mutable_bias() noexcept {
+    note_weights_mutated();
+    return b_;
+  }
 
   /// Installs a calibrated int8 payload (nn/quantization.hpp builds it) and
   /// switches inference to kInt8. The payload is immutable once installed —
@@ -111,13 +126,30 @@ class DenseLayer final : public Layer {
   [[nodiscard]] Precision precision() const noexcept { return precision_; }
   [[nodiscard]] bool has_quantized() const noexcept { return quant_ != nullptr; }
   [[nodiscard]] const QuantizedDense* quantized() const noexcept { return quant_.get(); }
+  /// Bumped on every mutable weight access (params() / mutable_weights() /
+  /// mutable_bias()); lets callers and tests detect weight turnover.
+  [[nodiscard]] std::uint64_t weights_generation() const noexcept {
+    return weights_gen_;
+  }
 
  private:
+  /// Any mutable weight access invalidates a calibrated payload: int8 codes
+  /// quantized from the old weights must never serve the new ones. A layer
+  /// that was serving kInt8 falls back to fp32 until re-calibrated.
+  void note_weights_mutated() noexcept {
+    ++weights_gen_;
+    if (quant_ != nullptr) {
+      quant_.reset();
+      if (precision_ == Precision::kInt8) precision_ = Precision::kFp32;
+    }
+  }
+
   std::size_t in_, out_;
   Tensor w_, b_, gw_, gb_;
   Tensor x_cache_;
   std::shared_ptr<const QuantizedDense> quant_;
   Precision precision_ = Precision::kFp32;
+  std::uint64_t weights_gen_ = 0;
 };
 
 /// Pointwise activation layer.
@@ -178,6 +210,7 @@ class Conv1dLayer final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Tensor*> params() override { return {&w_, &b_}; }
   std::vector<Tensor*> grads() override { return {&gw_, &gb_}; }
+  std::vector<const Tensor*> const_params() const override { return {&w_, &b_}; }
   [[nodiscard]] OpCounts inference_cost(std::size_t batch) const override;
   [[nodiscard]] std::size_t out_features(std::size_t) const override {
     return out_channels_ * length_;
@@ -247,6 +280,7 @@ class ResidualLayer final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Tensor*> params() override;
   std::vector<Tensor*> grads() override;
+  std::vector<const Tensor*> const_params() const override;
   [[nodiscard]] OpCounts inference_cost(std::size_t batch) const override;
   [[nodiscard]] std::size_t out_features(std::size_t in) const override { return in; }
   [[nodiscard]] std::string describe() const override;

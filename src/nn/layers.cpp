@@ -479,6 +479,14 @@ std::vector<Tensor*> ResidualLayer::params() {
   return out;
 }
 
+std::vector<const Tensor*> ResidualLayer::const_params() const {
+  std::vector<const Tensor*> out;
+  for (const auto& l : body_) {
+    for (const Tensor* p : l->const_params()) out.push_back(p);
+  }
+  return out;
+}
+
 std::vector<Tensor*> ResidualLayer::grads() {
   std::vector<Tensor*> out;
   for (auto& l : body_) {

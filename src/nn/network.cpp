@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "nn/quantization.hpp"
 #include "sparse/spmv.hpp"
 #include "tensor/ops.hpp"
 
@@ -14,6 +15,8 @@ Network& Network::operator=(const Network& other) {
   layers_.clear();
   layers_.reserve(other.layers_.size());
   for (const auto& l : other.layers_) layers_.push_back(l->clone());
+  retained_calib_ = other.retained_calib_;
+  retained_quant_opts_ = other.retained_quant_opts_;
   return *this;
 }
 
@@ -173,11 +176,17 @@ std::vector<Tensor*> Network::grads() {
   return out;
 }
 
+std::vector<const Tensor*> Network::const_params() const {
+  std::vector<const Tensor*> out;
+  for (const auto& l : layers_) {
+    for (const Tensor* p : l->const_params()) out.push_back(p);
+  }
+  return out;
+}
+
 std::size_t Network::param_count() const {
   std::size_t n = 0;
-  for (const auto& l : layers_) {
-    n += const_cast<Layer&>(*l).param_count();
-  }
+  for (const auto& l : layers_) n += l->param_count();
   return n;
 }
 
@@ -264,8 +273,8 @@ std::string Network::describe() const {
 }
 
 void Network::save_weights(std::ostream& os) const {
-  auto& self = const_cast<Network&>(*this);
-  const auto ps = self.params();
+  // Read-only walk: saving a quantized network must not drop its payloads.
+  const auto ps = const_params();
   os << ps.size() << "\n";
   os.precision(17);
   for (const Tensor* p : ps) {
@@ -278,6 +287,8 @@ void Network::save_weights(std::ostream& os) const {
 void Network::load_weights(std::istream& is) {
   std::size_t n = 0;
   is >> n;
+  // params() is a mutable access: it drops any calibrated int8 payloads, so
+  // codes quantized from the old weights can never serve the new ones.
   const auto ps = params();
   AHN_CHECK_MSG(n == ps.size(), "weight file has " << n << " tensors, net has "
                                                    << ps.size());
@@ -288,6 +299,22 @@ void Network::load_weights(std::istream& is) {
     for (double& v : p->flat()) is >> v;
   }
   AHN_CHECK_MSG(static_cast<bool>(is), "truncated weight stream");
+  // Opt-in auto-requantization: the retained calibration batch rebuilds the
+  // payloads for the new weights through the exact original install path.
+  if (retained_calib_ != nullptr && retained_quant_opts_ != nullptr) {
+    quantize_network(*this, *retained_calib_, *retained_quant_opts_);
+  }
+}
+
+void Network::retain_calibration(std::shared_ptr<const Tensor> calib,
+                                 std::shared_ptr<const QuantizationOptions> opts) {
+  if (calib == nullptr || opts == nullptr) {
+    retained_calib_.reset();
+    retained_quant_opts_.reset();
+    return;
+  }
+  retained_calib_ = std::move(calib);
+  retained_quant_opts_ = std::move(opts);
 }
 
 void Network::clear_caches() {

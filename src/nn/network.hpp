@@ -14,6 +14,8 @@
 
 namespace ahn::nn {
 
+struct QuantizationOptions;  // nn/quantization.hpp
+
 class Network {
  public:
   Network() = default;
@@ -61,8 +63,12 @@ class Network {
   double train_batch_sparse(const sparse::Csr& x, const Tensor& y, LossKind loss,
                             Optimizer& opt);
 
+  /// Mutable parameter views. Taking them signals intent to mutate: dense
+  /// layers drop their calibrated int8 payloads (stale codes must never
+  /// serve new weights). Use const_params() for read-only access.
   std::vector<Tensor*> params();
   std::vector<Tensor*> grads();
+  [[nodiscard]] std::vector<const Tensor*> const_params() const;
   [[nodiscard]] std::size_t param_count() const;
 
   /// Analytic inference cost for a batch (drives the accelerator model).
@@ -87,9 +93,23 @@ class Network {
   [[nodiscard]] std::string describe() const;
 
   /// Text serialization (architecture is NOT serialized — weights only; the
-  /// loader must already hold an identically-shaped network).
+  /// loader must already hold an identically-shaped network). Saving never
+  /// perturbs serving state; loading invalidates any calibrated int8
+  /// payloads (they encoded the old weights) and — when a calibration batch
+  /// was retained — rebuilds them for the new weights through the exact
+  /// install code path, so the result is bitwise-identical to a fresh
+  /// quantize_network call.
   void save_weights(std::ostream& os) const;
   void load_weights(std::istream& is);
+
+  /// Opt-in auto-requantization after load_weights:
+  /// quantize_network(.., retain_calibration=true) parks its calibration
+  /// batch + options here. Null `calib` clears retention.
+  void retain_calibration(std::shared_ptr<const Tensor> calib,
+                          std::shared_ptr<const QuantizationOptions> opts);
+  [[nodiscard]] bool has_retained_calibration() const noexcept {
+    return retained_calib_ != nullptr;
+  }
 
   void clear_caches();
 
@@ -98,6 +118,9 @@ class Network {
                                      Optimizer& opt);
 
   std::vector<std::unique_ptr<Layer>> layers_;
+  // Retained quantization calibration (immutable, shared across copies).
+  std::shared_ptr<const Tensor> retained_calib_;
+  std::shared_ptr<const QuantizationOptions> retained_quant_opts_;
 };
 
 }  // namespace ahn::nn

@@ -74,6 +74,10 @@ std::size_t quantize_network(Network& net, const Tensor& inputs,
       d->set_precision(Precision::kInt8);
     }
   }
+  if (opts.retain_calibration) {
+    net.retain_calibration(std::make_shared<const Tensor>(inputs),
+                           std::make_shared<const QuantizationOptions>(opts));
+  }
   return quantized;
 }
 

@@ -47,6 +47,10 @@ struct QuantizationOptions {
   /// When false the selector probe is skipped and every layer serves the
   /// int8 Dot kernel — used by tests that need probe-free determinism.
   bool probe_kernels = true;
+  /// Opt-in: park the calibration batch (and these options) on the Network
+  /// so load_weights can automatically re-quantize for the new weights.
+  /// Costs keeping the batch alive — default off.
+  bool retain_calibration = false;
 };
 
 /// Builds the payload for one dense layer given its calibrated input params.

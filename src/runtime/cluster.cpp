@@ -262,6 +262,12 @@ void ClusterOrchestrator::conclude_rollout_locked(const std::string& name,
   cr.concluded = true;
 }
 
+bool ClusterOrchestrator::rollout_in_flight(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = cluster_rollouts_.find(name);
+  return it != cluster_rollouts_.end() && !it->second.concluded;
+}
+
 std::optional<RolloutSnapshot> ClusterOrchestrator::rollout_progress(
     const std::string& name) {
   const std::lock_guard<std::mutex> lock(registry_mu_);

@@ -175,6 +175,12 @@ class ClusterOrchestrator : public RolloutHost {
   /// promote everywhere; any shard FAILED => roll back everywhere. Each
   /// call also drives the shards' stage-deadline checks.
   std::optional<RolloutSnapshot> rollout_progress(const std::string& name) override;
+  /// Side-effect-free "is a cluster rollout live for name" (tracked entries
+  /// stay in the registry after conclusion, flagged concluded).
+  [[nodiscard]] bool rollout_in_flight(const std::string& name) const override;
+  [[nodiscard]] obs::MetricsRegistry* metrics_registry() override {
+    return &cluster_metrics_;
+  }
   /// Cluster-merged alert stream: every shard's AlertSink forwards here.
   [[nodiscard]] obs::AlertSink& alert_sink() override { return cluster_alerts_; }
   /// Observer fed by every shard's served rows (the Retrainer's reservoir).

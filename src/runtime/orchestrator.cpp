@@ -246,6 +246,11 @@ void Orchestrator::finalize_rollout(const std::string& name, bool promote_candid
   if (ro != nullptr) conclude_rollout(name, *ro, promote_candidate, reason);
 }
 
+bool Orchestrator::rollout_in_flight(const std::string& name) const {
+  const std::shared_lock<std::shared_mutex> lock(rollouts_mu_);
+  return rollouts_.find(name) != rollouts_.end();
+}
+
 std::optional<RolloutSnapshot> Orchestrator::rollout_progress(const std::string& name) {
   const std::shared_ptr<ActiveRollout> ro = find_rollout(name);
   if (ro == nullptr) {

@@ -214,6 +214,12 @@ class Orchestrator : public RolloutHost {
   Status begin_rollout(const std::string& name, std::uint64_t candidate_version,
                        RolloutOptions opts) override;
   std::optional<RolloutSnapshot> rollout_progress(const std::string& name) override;
+  /// Side-effect-free "is a rollout live for name" (live entries are erased
+  /// from rollouts_ when they conclude).
+  [[nodiscard]] bool rollout_in_flight(const std::string& name) const override;
+  [[nodiscard]] obs::MetricsRegistry* metrics_registry() override {
+    return &stats_.metrics();
+  }
   [[nodiscard]] obs::AlertSink& alert_sink() override { return alerts_; }
   void set_sample_hook(SampleHook hook) override;
 

@@ -12,6 +12,7 @@
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
 #include "obs/trace.hpp"
 #include "runtime/orchestrator.hpp"
@@ -94,6 +95,7 @@ struct Retrainer::Impl {
   std::atomic<std::uint64_t> promoted{0};
   std::atomic<std::uint64_t> rolled_back{0};
   std::atomic<std::uint64_t> skipped{0};
+  std::atomic<std::uint64_t> coalesced{0};
 
   std::thread worker;
 
@@ -137,10 +139,32 @@ struct Retrainer::Impl {
     enqueue(a.model);
   }
 
+  /// One alert-storm trigger dropped: a cycle for the model is already
+  /// queued, training, or mid-rollout. Counted rather than queued — when the
+  /// in-flight cycle concludes, its promotion re-baselines the monitor, so
+  /// replaying the storm would retrain on the very drift just fixed.
+  void note_coalesced(const std::string& name) {
+    coalesced.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsRegistry* reg = host->metrics_registry()) {
+      reg->counter("serving.retrain.coalesced").increment();
+    }
+    AHN_INFO_C("retrain", name << ": trigger coalesced into the in-flight cycle");
+  }
+
   void enqueue(const std::string& name) {
+    // A rollout in flight means a retrain cycle is already being judged for
+    // this model (ours or an operator's): don't stack another behind it.
+    // rollout_in_flight is side-effect-free, unlike rollout_progress.
+    if (host->rollout_in_flight(name)) {
+      note_coalesced(name);
+      return;
+    }
     {
       const std::lock_guard<std::mutex> lock(mu);
-      if (!queued.insert(name).second) return;  // already queued or mid-cycle
+      if (!queued.insert(name).second) {  // already queued or mid-cycle
+        note_coalesced(name);
+        return;
+      }
       queue.push_back(name);
     }
     cv.notify_one();
@@ -202,20 +226,28 @@ struct Retrainer::Impl {
       }
     }
 
-    nn::TrainedSurrogate candidate_surrogate;
-    {
-      const obs::Span train_span(obs::Tracer::global(), "retrain.train");
-      candidate_surrogate =
-          opts.train_fn
-              ? opts.train_fn(info->model->surrogate, data)
-              : nn::train_surrogate(info->model->surrogate.net, data, opts.train);
-    }
-
-    // Candidate = the active servable with the surrogate swapped; the new
+    // Candidate = the active servable with the surrogate swapped (and, for
+    // the candidate_fn seam, possibly a replacement encoder); the new
     // reference sketch is the reservoir itself (the distribution the
     // candidate was just trained on).
     auto candidate = std::make_shared<ServableModel>(*info->model);
-    candidate->surrogate = std::move(candidate_surrogate);
+    {
+      const obs::Span train_span(obs::Tracer::global(), "retrain.train");
+      if (opts.candidate_fn) {
+        RetrainCandidate produced = opts.candidate_fn(*info->model, data);
+        candidate->surrogate = std::move(produced.surrogate);
+        if (produced.replace_encoder) {
+          candidate->encode = std::move(produced.encode);
+          candidate->encode_ops = produced.encode_ops;
+          candidate->infer_ops = produced.infer_ops;
+        }
+      } else {
+        candidate->surrogate =
+            opts.train_fn
+                ? opts.train_fn(info->model->surrogate, data)
+                : nn::train_surrogate(info->model->surrogate.net, data, opts.train);
+      }
+    }
     auto reference = std::make_shared<obs::FeatureSketch>(in_features);
     for (const ReservoirRow& r : rows) reference->observe(r.x);
 
@@ -276,6 +308,11 @@ Retrainer::Retrainer(RolloutHost& host, RetrainerOptions opts)
     : impl_(std::make_shared<Impl>(host, std::move(opts))) {
   // Both callbacks hold weak refs: the host may outlive this Retrainer and
   // keep raising alerts / serving rows without dangling into freed state.
+  // Pre-register the coalescing counter so the metrics family exists (and
+  // exports as 0) before the first alert storm.
+  if (obs::MetricsRegistry* reg = host.metrics_registry()) {
+    static_cast<void>(reg->counter("serving.retrain.coalesced"));
+  }
   std::weak_ptr<Impl> weak = impl_;
   host.set_sample_hook([weak](const std::string& name, std::span<const double> row,
                               bool /*qoi_ok*/) {
@@ -311,6 +348,7 @@ RetrainerStats Retrainer::stats() const {
   s.cycles_promoted = impl_->promoted.load(std::memory_order_relaxed);
   s.cycles_rolled_back = impl_->rolled_back.load(std::memory_order_relaxed);
   s.cycles_skipped = impl_->skipped.load(std::memory_order_relaxed);
+  s.cycles_coalesced = impl_->coalesced.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/flops.hpp"
 #include "nn/train.hpp"
 #include "runtime/rollout.hpp"
 
@@ -71,6 +72,29 @@ class RetrainReservoir {
   std::uint64_t offered_ = 0;
 };
 
+/// What a retrain cycle produced: the candidate surrogate and, optionally, a
+/// replacement feature-reduction stage. The plain train_fn seam can only
+/// fine-tune the surrogate behind the active encoder; a NAS-backed cycle
+/// (nas::make_population_train_fn) may pick a different latent K — or drop
+/// reduction entirely — so it must be able to swap the candidate's encode
+/// path too.
+struct RetrainCandidate {
+  nn::TrainedSurrogate surrogate;
+  /// When true, the candidate ServableModel's encode/encode_ops are replaced
+  /// with the fields below (an empty `encode` means "serve unreduced").
+  bool replace_encoder = false;
+  std::function<Tensor(const Tensor&)> encode;
+  OpCounts encode_ops;
+  /// Per-row surrogate cost of the candidate; used only with
+  /// replace_encoder (otherwise the active model's accounting stands).
+  OpCounts infer_ops;
+};
+
+/// Full-candidate training seam: active model + labeled reservoir ->
+/// candidate. Takes precedence over RetrainerOptions::train_fn.
+using RetrainCandidateFn = std::function<RetrainCandidate(
+    const ServableModel& active, const nn::Dataset& data)>;
+
 struct RetrainerOptions {
   /// 1 in `sample_every` hook rows is offered to the reservoir (the hook
   /// already only sees served rows; this bounds reservoir-update cost).
@@ -104,6 +128,10 @@ struct RetrainerOptions {
   std::function<nn::TrainedSurrogate(const nn::TrainedSurrogate& active,
                                      const nn::Dataset& data)>
       train_fn;
+
+  /// Richer seam: sees the whole active ServableModel and may replace the
+  /// candidate's encoder (NAS re-search). When set, `train_fn` is ignored.
+  RetrainCandidateFn candidate_fn;
 };
 
 struct RetrainerStats {
@@ -112,6 +140,10 @@ struct RetrainerStats {
   std::uint64_t cycles_promoted = 0;
   std::uint64_t cycles_rolled_back = 0;
   std::uint64_t cycles_skipped = 0;   ///< no fallback / too few rows / busy
+  /// Alert-storm dedupes: triggers dropped because a cycle for the same
+  /// model was already queued, training, or mid-rollout. Also published as
+  /// the serving.retrain.coalesced counter on the host's registry.
+  std::uint64_t cycles_coalesced = 0;
 };
 
 /// The background retraining worker. One instance per host (single-node

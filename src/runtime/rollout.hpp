@@ -40,6 +40,7 @@
 namespace ahn::obs {
 class AlertSink;
 class FeatureSketch;
+class MetricsRegistry;
 }  // namespace ahn::obs
 
 namespace ahn::runtime {
@@ -213,6 +214,20 @@ class RolloutHost {
   /// `name`; also drives deadline checks and, for coordinated hosts, the
   /// cross-shard verdict. nullopt = no rollout ever started.
   virtual std::optional<RolloutSnapshot> rollout_progress(const std::string& name) = 0;
+
+  /// True while a rollout for `name` is between begin_rollout and its
+  /// terminal conclusion. Unlike rollout_progress this is side-effect-free
+  /// (no deadline polling, no verdict driving), so the Retrainer can use it
+  /// to coalesce alert storms without perturbing the rollout. Default: never
+  /// in flight (hosts that do not track rollouts).
+  [[nodiscard]] virtual bool rollout_in_flight(const std::string& name) const {
+    (void)name;
+    return false;
+  }
+
+  /// The host's metrics registry, for cross-cutting workers (the Retrainer's
+  /// serving.retrain.* counters) to publish into. Default: none.
+  [[nodiscard]] virtual obs::MetricsRegistry* metrics_registry() { return nullptr; }
 
   /// The alert fan-out retraining subscribes to.
   [[nodiscard]] virtual obs::AlertSink& alert_sink() = 0;

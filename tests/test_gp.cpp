@@ -221,6 +221,28 @@ TEST(Bo, ProposeBatchOfOneMatchesPropose) {
   }
 }
 
+TEST(Bo, ProposeBatchOfZeroIsEmptyAndConsumesNothing) {
+  BoOptions opts;
+  opts.dim = 1;
+  opts.init_samples = 2;
+  // q=0 is the degenerate edge a caller with no free evaluation slots hits
+  // (the population searcher's P=1 degradation): empty batch, and the Rng
+  // stream untouched — the next proposal matches an optimizer never asked.
+  BayesianOptimizer a(opts, Rng(9));
+  BayesianOptimizer b(opts, Rng(9));
+  EXPECT_TRUE(a.propose_batch(0).empty());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(a.propose_batch(0).empty());
+    const auto xa = a.propose();
+    const auto xb = b.propose();
+    ASSERT_EQ(xa, xb);
+    const double f = (xa[0] - 0.3) * (xa[0] - 0.3);
+    a.observe({xa, f, 0.0});
+    b.observe({xb, f, 0.0});
+  }
+  EXPECT_EQ(a.history().size(), b.history().size());
+}
+
 TEST(Bo, ProposeBatchSpreadsAndRestoresHistory) {
   BoOptions opts;
   opts.dim = 1;

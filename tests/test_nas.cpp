@@ -12,7 +12,10 @@
 #include "baselines/accept.hpp"
 #include "baselines/perforation.hpp"
 #include "nas/baseline_searchers.hpp"
+#include "nas/ltfb.hpp"
 #include "nas/two_d_nas.hpp"
+#include "nn/topology.hpp"
+#include "runtime/orchestrator.hpp"
 #include "runtime/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -306,6 +309,200 @@ TEST(FlatJointNas, RunsAndTracksEncodingMiss) {
   const NasResult res = flat.search(task);
   EXPECT_EQ(res.evaluations(), 3u);
   for (const auto& s : res.steps) EXPECT_GT(s.latent_k, 0u);
+}
+
+// ------------------------------------------------------- LTFB population
+
+PopulationOptions small_population(std::size_t population, std::size_t rounds) {
+  PopulationOptions opts;
+  opts.nas.inner_iterations = 2;
+  opts.nas.k_min = 2;
+  opts.nas.k_max = 8;
+  opts.nas.ae_epochs = 25;
+  opts.population = population;
+  opts.rounds = rounds;
+  return opts;
+}
+
+void expect_same_population_result(const PopulationResult& a, const PopulationResult& b) {
+  ASSERT_EQ(a.workers.size(), b.workers.size());
+  for (std::size_t w = 0; w < a.workers.size(); ++w) {
+    ASSERT_EQ(a.workers[w].steps.size(), b.workers[w].steps.size()) << "worker " << w;
+    for (std::size_t i = 0; i < a.workers[w].steps.size(); ++i) {
+      const SearchStep& sa = a.workers[w].steps[i];
+      const SearchStep& sb = b.workers[w].steps[i];
+      EXPECT_EQ(sa.latent_k, sb.latent_k) << "worker " << w << " step " << i;
+      EXPECT_EQ(sa.spec.num_layers, sb.spec.num_layers);
+      EXPECT_EQ(sa.spec.hidden_units, sb.spec.hidden_units);
+      EXPECT_EQ(sa.spec.act, sb.spec.act);
+      EXPECT_EQ(sa.quality_error, sb.quality_error);
+      EXPECT_EQ(sa.modeled_infer_seconds, sb.modeled_infer_seconds);
+    }
+  }
+  ASSERT_EQ(a.tournaments.size(), b.tournaments.size());
+  for (std::size_t i = 0; i < a.tournaments.size(); ++i) {
+    EXPECT_EQ(a.tournaments[i].round, b.tournaments[i].round);
+    EXPECT_EQ(a.tournaments[i].winner, b.tournaments[i].winner);
+    EXPECT_EQ(a.tournaments[i].loser, b.tournaments[i].loser);
+    EXPECT_EQ(a.tournaments[i].adopted.latent_k, b.tournaments[i].adopted.latent_k);
+    EXPECT_EQ(a.tournaments[i].adopted.spec.hidden_units,
+              b.tournaments[i].adopted.spec.hidden_units);
+  }
+  EXPECT_EQ(a.best_worker, b.best_worker);
+  EXPECT_EQ(a.best.latent_k, b.best.latent_k);
+  EXPECT_EQ(a.best.spec.num_layers, b.best.spec.num_layers);
+  EXPECT_EQ(a.best.spec.hidden_units, b.best.spec.hidden_units);
+  EXPECT_EQ(a.best.quality_error, b.best.quality_error);
+  EXPECT_EQ(a.best.modeled_infer_seconds, b.best.modeled_infer_seconds);
+  EXPECT_EQ(a.found_feasible, b.found_feasible);
+}
+
+TEST(Ltfb, PairingIsDeterministicDisjointAndSitsOddWorkerOut) {
+  for (const std::size_t p : {2u, 3u, 5u, 8u}) {
+    for (std::size_t round = 0; round < 4; ++round) {
+      const auto pairs = PopulationSearch::pairing(17, round, p);
+      EXPECT_EQ(pairs.size(), p / 2) << "P=" << p;
+      std::vector<bool> seen(p, false);
+      for (const auto& [a, b] : pairs) {
+        ASSERT_LT(a, p);
+        ASSERT_LT(b, p);
+        EXPECT_NE(a, b);
+        EXPECT_FALSE(seen[a]) << "worker " << a << " paired twice";
+        EXPECT_FALSE(seen[b]) << "worker " << b << " paired twice";
+        seen[a] = seen[b] = true;
+      }
+      // Keyed by (seed, round) only: replaying the schedule is identical.
+      EXPECT_EQ(pairs, PopulationSearch::pairing(17, round, p));
+    }
+    // Different seeds must decouple the schedules (with 8 workers the odds
+    // of all four rounds colliding by chance are negligible).
+    if (p == 8) {
+      bool any_differ = false;
+      for (std::size_t round = 0; round < 4; ++round) {
+        if (PopulationSearch::pairing(17, round, p) !=
+            PopulationSearch::pairing(18, round, p)) {
+          any_differ = true;
+        }
+      }
+      EXPECT_TRUE(any_differ);
+    }
+  }
+}
+
+TEST(Ltfb, PerturbationStaysInsideSearchSpace) {
+  nn::TopologySpace space;
+  const std::size_t k_min = 2, k_max = 16;
+  Elite winner;
+  winner.latent_k = 8;
+  winner.spec.num_layers = 2;
+  winner.spec.hidden_units = 64;
+  winner.spec.channels = 4;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    for (std::size_t round = 0; round < 4; ++round) {
+      const Elite out = PopulationSearch::perturb_elite(winner, seed, round,
+                                                        /*loser=*/seed % 5, space,
+                                                        k_min, k_max, 0.25);
+      EXPECT_GE(out.latent_k, k_min);
+      EXPECT_LE(out.latent_k, k_max);
+      EXPECT_GE(out.spec.hidden_units, space.min_units);
+      EXPECT_LE(out.spec.hidden_units, space.max_units);
+      EXPECT_GE(out.spec.num_layers, space.min_layers);
+      EXPECT_LE(out.spec.num_layers, space.max_layers);
+      EXPECT_GE(out.spec.channels, space.min_channels);
+      EXPECT_LE(out.spec.channels, space.max_channels);
+      // Keyed schedule: same (seed, round, loser) -> same perturbation.
+      const Elite again = PopulationSearch::perturb_elite(winner, seed, round,
+                                                          seed % 5, space, k_min,
+                                                          k_max, 0.25);
+      EXPECT_EQ(out.latent_k, again.latent_k);
+      EXPECT_EQ(out.spec.hidden_units, again.spec.hidden_units);
+      EXPECT_EQ(out.spec.num_layers, again.spec.num_layers);
+    }
+  }
+  // A full-input elite (K = 0) stays full-input: the adoption never invents
+  // a reduction the winner did not have.
+  winner.latent_k = 0;
+  const Elite out = PopulationSearch::perturb_elite(winner, 3, 1, 2, space, k_min,
+                                                    k_max, 0.25);
+  EXPECT_EQ(out.latent_k, 0u);
+}
+
+TEST(Ltfb, SingleWorkerDegradesToSerialSearchWithoutTournaments) {
+  const SearchTask task = make_synthetic_task(16);
+  const PopulationResult res =
+      PopulationSearch(small_population(/*population=*/1, /*rounds=*/2)).search(task);
+  EXPECT_EQ(res.workers.size(), 1u);
+  EXPECT_TRUE(res.tournaments.empty());
+  EXPECT_EQ(res.best_worker, 0u);
+  EXPECT_GT(res.evaluations(), 2u);
+}
+
+/// The determinism contract of the hpp header: a fixed task seed yields a
+/// bitwise-identical search whether workers run serially, on one pool
+/// thread, or on eight.
+TEST(Ltfb, SearchIsBitwiseIdenticalAcrossPoolSizes) {
+  const SearchTask task = make_synthetic_task(16);
+  PopulationOptions opts = small_population(/*population=*/4, /*rounds=*/2);
+
+  const PopulationResult serial = PopulationSearch(opts).search(task);
+  // P=4, rounds=2 -> exactly one tournament barrier, two adoption records.
+  EXPECT_EQ(serial.tournaments.size(), 2u);
+  for (const TournamentRecord& t : serial.tournaments) {
+    EXPECT_NE(t.winner, t.loser);
+    EXPECT_EQ(t.round, 0u);
+  }
+
+  runtime::ThreadPool one(1);
+  opts.pool = &one;
+  const PopulationResult pooled1 = PopulationSearch(opts).search(task);
+  expect_same_population_result(serial, pooled1);
+
+  runtime::ThreadPool eight(8);
+  opts.pool = &eight;
+  const PopulationResult pooled8 = PopulationSearch(opts).search(task);
+  expect_same_population_result(serial, pooled8);
+}
+
+TEST(Ltfb, SingleWorkerMatchesAcrossPoolPresence) {
+  const SearchTask task = make_synthetic_task(16);
+  PopulationOptions opts = small_population(/*population=*/1, /*rounds=*/2);
+  const PopulationResult serial = PopulationSearch(opts).search(task);
+  runtime::ThreadPool eight(8);
+  opts.pool = &eight;
+  const PopulationResult pooled = PopulationSearch(opts).search(task);
+  expect_same_population_result(serial, pooled);
+}
+
+TEST(Ltfb, PopulationTrainFnProducesRolloutCandidate) {
+  // The Retrainer seam: a labeled reservoir dataset in, a candidate (with
+  // replacement encoder wiring when the search reduced features) out.
+  const SearchTask probe = make_synthetic_task(16, /*samples=*/96);
+  nn::Dataset data = probe.data;
+
+  PopulationOptions opts = small_population(/*population=*/2, /*rounds=*/1);
+  nn::TrainOptions train;
+  train.epochs = 40;
+  train.lr = 5e-3;
+  const runtime::RetrainCandidateFn fn =
+      make_population_train_fn(opts, train, /*quality_bound=*/0.5);
+
+  runtime::ServableModel active;
+  Rng rng(3);
+  nn::TopologySpec spec;
+  spec.num_layers = 1;
+  spec.hidden_units = 8;
+  active.surrogate.net = nn::build_surrogate(spec, data.x.cols(), data.y.cols(), rng);
+
+  const runtime::RetrainCandidate cand = fn(active, data);
+  EXPECT_GT(cand.surrogate.net.layer_count(), 0u);
+  if (cand.replace_encoder && cand.encode) {
+    // The encode hook must feed the surrogate's expected input width.
+    const Tensor reduced = cand.encode(data.x);
+    EXPECT_EQ(reduced.rows(), data.x.rows());
+    EXPECT_GT(cand.encode_ops.flops, 0u);
+    const Tensor y = cand.surrogate.predict(reduced);
+    EXPECT_EQ(y.rows(), data.x.rows());
+  }
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <vector>
 
 #ifdef _OPENMP
@@ -342,6 +343,93 @@ TEST(QuantizedNetwork, CopyCarriesQuantizedPayload) {
   EXPECT_EQ(copy.precision(), nn::Precision::kInt8);
   const Tensor replicated = copy.predict(x);
   EXPECT_EQ(std::memcmp(orig.data(), replicated.data(), orig.size() * sizeof(double)),
+            0);
+}
+
+// Regression (tentpole bugfix): load_weights used to leave the calibrated
+// int8 payloads installed, so a weight refresh kept serving codes quantized
+// from the OLD weights. Any mutable weight access must drop the payload.
+TEST(QuantizedNetwork, LoadWeightsInvalidatesStaleInt8Payload) {
+  nn::Network net = small_net(71);
+  nn::QuantizationOptions opts;
+  opts.probe_kernels = false;
+  nn::quantize_network(net, gaussian_batch(64, 10, 72), opts);
+  ASSERT_EQ(net.precision(), nn::Precision::kInt8);
+
+  // A same-architecture network with different weights (the registry's
+  // version-refresh path).
+  nn::Network donor = small_net(73);
+  std::stringstream weights;
+  donor.save_weights(weights);
+  net.load_weights(weights);
+
+  // No retained calibration: the net must fall back to fp32 — never serve
+  // old-weight codes — and track the donor's outputs bitwise.
+  EXPECT_EQ(net.precision(), nn::Precision::kFp32);
+  const Tensor x = gaussian_batch(8, 10, 74);
+  const Tensor got = net.predict(x);
+  const Tensor want = donor.predict(x);
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size() * sizeof(double)), 0);
+}
+
+// Opt-in retention: load_weights re-runs the exact quantize_network install,
+// so serving after a weight refresh is bitwise-equal to a fresh calibration.
+TEST(QuantizedNetwork, LoadWeightsAutoRequantizesWithRetainedCalibration) {
+  const Tensor calib = gaussian_batch(64, 10, 76);
+  nn::QuantizationOptions opts;
+  opts.probe_kernels = false;
+  opts.retain_calibration = true;
+
+  nn::Network net = small_net(75);
+  nn::quantize_network(net, calib, opts);
+  ASSERT_TRUE(net.has_retained_calibration());
+
+  nn::Network donor = small_net(77);
+  std::stringstream weights;
+  donor.save_weights(weights);
+  net.load_weights(weights);
+  EXPECT_EQ(net.precision(), nn::Precision::kInt8);
+
+  // Reference: the donor weights quantized from scratch on the same batch.
+  nn::Network fresh = donor;
+  nn::quantize_network(fresh, calib, opts);
+  const Tensor x = gaussian_batch(16, 10, 78);
+  const Tensor got = net.predict(x);
+  const Tensor want = fresh.predict(x);
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size() * sizeof(double)), 0);
+}
+
+TEST(QuantizedNetwork, MutableWeightAccessDropsPayloadAndBumpsGeneration) {
+  nn::Network net = small_net(79);
+  auto* dense = dynamic_cast<nn::DenseLayer*>(&net.layer(0));
+  ASSERT_NE(dense, nullptr);
+  const std::uint64_t gen0 = dense->weights_generation();
+
+  nn::QuantizationOptions opts;
+  opts.probe_kernels = false;
+  nn::quantize_network(net, gaussian_batch(64, 10, 80), opts);
+  ASSERT_TRUE(dense->has_quantized());
+
+  dense->mutable_weights()[0] += 0.5;
+  EXPECT_FALSE(dense->has_quantized());
+  EXPECT_EQ(dense->precision(), nn::Precision::kFp32);
+  EXPECT_GT(dense->weights_generation(), gen0);
+}
+
+// Saving is a read-only walk: it must not perturb the quantized payloads.
+TEST(QuantizedNetwork, SaveWeightsKeepsServingQuantized) {
+  nn::Network net = small_net(81);
+  nn::QuantizationOptions opts;
+  opts.probe_kernels = false;
+  nn::quantize_network(net, gaussian_batch(64, 10, 82), opts);
+  const Tensor x = gaussian_batch(4, 10, 83);
+  const Tensor before = net.predict(x);
+
+  std::stringstream ss;
+  net.save_weights(ss);
+  EXPECT_EQ(net.precision(), nn::Precision::kInt8);
+  const Tensor after = net.predict(x);
+  EXPECT_EQ(std::memcmp(before.data(), after.data(), before.size() * sizeof(double)),
             0);
 }
 

@@ -641,6 +641,49 @@ TEST(Retraining, DriftAlertDrivesRetrainToPromotion) {
   retrainer.stop();
 }
 
+// Alert storms must collapse into the cycle already running: a duplicate
+// trigger for a model that is queued or mid-cycle is counted, not stacked.
+TEST(Retraining, AlertStormCoalescesQueuedDuplicates) {
+  Orchestrator orc(DeviceModel{}, inline_opts());
+  orc.set_model("m", rig_model(1));
+  Retrainer retrainer(orc, RetrainerOptions{});
+  retrainer.stop();  // freeze the worker: queued entries stay queued
+
+  retrainer.request_retrain("m");   // enqueues
+  retrainer.request_retrain("m");   // duplicate -> coalesced
+  retrainer.request_retrain("m");   // duplicate -> coalesced
+  retrainer.request_retrain("m2");  // different model -> enqueues
+
+  const RetrainerStats stats = retrainer.stats();
+  EXPECT_EQ(stats.cycles_coalesced, 2u);
+  EXPECT_EQ(stats.cycles_started, 0u);
+  // The dedupes are also visible on the host's registry for operators.
+  EXPECT_EQ(orc.stats().metrics().counter("serving.retrain.coalesced").value(), 2u);
+}
+
+// A rollout in flight (whoever started it) means a candidate is already
+// being judged: a new trigger for that model coalesces instead of queueing a
+// second cycle behind it — rollout_in_flight is the side-effect-free probe.
+TEST(Retraining, TriggerDuringLiveRolloutCoalesces) {
+  Orchestrator orc(DeviceModel{}, inline_opts());
+  orc.set_model("m", rig_model(1));
+  const std::uint64_t v2 = orc.install_candidate("m", rig_model(2), nullptr, "test");
+  RolloutOptions ro = tiny_rollout();
+  ro.shadow_rows = 64;  // stays in shadow for the whole test
+  ASSERT_TRUE(orc.begin_rollout("m", v2, ro).is_ok());
+  ASSERT_TRUE(orc.rollout_in_flight("m"));
+  EXPECT_FALSE(orc.rollout_in_flight("other"));
+
+  Retrainer retrainer(orc, RetrainerOptions{});
+  retrainer.request_retrain("m");
+  retrainer.stop();
+  const RetrainerStats stats = retrainer.stats();
+  EXPECT_EQ(stats.cycles_coalesced, 1u);
+  EXPECT_EQ(stats.cycles_started, 0u);
+  // The probe left the rollout untouched (no deadline poll side effects).
+  ASSERT_TRUE(orc.rollout_in_flight("m"));
+}
+
 TEST(Retraining, CycleSkipsWithoutFallbackOrRows) {
   Orchestrator orc(DeviceModel{}, inline_opts());
   orc.set_model("m", rig_model(1));  // no fallback: nothing can label rows
