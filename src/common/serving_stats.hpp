@@ -104,14 +104,16 @@ class ServingStats {
     return exact_samples_.load(std::memory_order_relaxed);
   }
 
-  /// Records one served request and its per-phase modeled latency.
-  void record_request(const RequestPhases& phases) {
+  /// Records one served request and its per-phase modeled latency. A
+  /// nonzero `trace_id` stamps an exemplar on each histogram bucket the
+  /// request lands in, linking scraped latency buckets to captured traces.
+  void record_request(const RequestPhases& phases, std::uint64_t trace_id = 0) {
     requests_.increment();
-    fetch_hist_.record(phases.fetch);
-    encode_hist_.record(phases.encode);
-    load_hist_.record(phases.load);
-    run_hist_.record(phases.run);
-    total_hist_.record(phases.total());
+    fetch_hist_.record(phases.fetch, trace_id);
+    encode_hist_.record(phases.encode, trace_id);
+    load_hist_.record(phases.load, trace_id);
+    run_hist_.record(phases.run, trace_id);
+    total_hist_.record(phases.total(), trace_id);
     if (exact_samples()) {
       const std::lock_guard<std::mutex> lock(mu_);
       fetch_.push_back(phases.fetch);

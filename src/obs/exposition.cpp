@@ -1,5 +1,6 @@
 #include "obs/exposition.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <fstream>
@@ -102,7 +103,120 @@ FamilyMap<Value> group_families(const std::map<std::string, Value>& metrics) {
   return families;
 }
 
+/// Escapes a HELP line (backslash and newline per the exposition format).
+std::string escape_help(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// The process-wide HELP registry behind register_metric_help/metric_help.
+/// Seeded with curated text for every family the runtime emits today; the
+/// metric_help fallback keeps unknown families covered.
+class HelpRegistry {
+ public:
+  static HelpRegistry& instance() {
+    static HelpRegistry reg;
+    return reg;
+  }
+
+  void set(const std::string& family, const std::string& help) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    help_[prometheus_sanitize_name(family)] = help;
+  }
+
+  std::string get(const std::string& family) const {
+    const std::string key = prometheus_sanitize_name(family);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = help_.find(key);
+      if (it != help_.end()) return it->second;
+    }
+    // Prefix fallbacks keep derived families (per-kind fault counters,
+    // per-transition breaker counters) described without one entry each.
+    if (key.rfind("serving_fault_", 0) == 0) {
+      return "Injected faults of one kind (suffix) observed by the serving path.";
+    }
+    if (key.rfind("serving_breaker_transition_", 0) == 0) {
+      return "QoI circuit-breaker state transitions of one kind (suffix).";
+    }
+    return "Auto-HPCnet metric; see docs/OBSERVABILITY.md for the inventory.";
+  }
+
+ private:
+  HelpRegistry() {
+    const std::pair<const char*, const char*> seed[] = {
+        {"serving.requests_served", "Requests served by this orchestrator."},
+        {"serving.batches_executed", "Coalesced micro-batches executed."},
+        {"serving.qoi_fallbacks", "Rows re-served by the original code after a QoI miss."},
+        {"serving.faults_injected", "Total injected faults (all kinds)."},
+        {"serving.retries", "Retry attempts after transient faults."},
+        {"serving.deadline_misses", "Requests expired (kDeadlineExceeded) before service."},
+        {"serving.shutdown_rejections", "Requests refused with kShuttingDown."},
+        {"serving.breaker_fallbacks", "Requests routed to original code by an open breaker."},
+        {"serving.batch_queue_depth", "Rows currently pending in the batching queue."},
+        {"serving.latency.fetch", "Modeled per-request fetch-phase latency (seconds)."},
+        {"serving.latency.encode", "Modeled per-request encode-phase latency (seconds)."},
+        {"serving.latency.load", "Modeled per-request weight-load latency (seconds)."},
+        {"serving.latency.run", "Modeled per-request inference latency (seconds)."},
+        {"serving.latency.total", "Modeled per-request total online latency (seconds)."},
+        {"serving.model_version", "Active registry version serving this model."},
+        {"serving.breaker_state", "QoI breaker state (0 closed / 1 open / 2 half-open)."},
+        {"serving.rollout_state", "Rollout stage of this model's live candidate."},
+        {"serving.rollout.promotions", "Rollout candidates promoted to serving."},
+        {"serving.rollout.rollbacks", "Rollout candidates discarded (rolled back)."},
+        {"serving.shadow.rows", "Rows double-scored while shadowing a candidate."},
+        {"serving.shadow.active_qoi_miss", "Shadowed rows where the active model missed QoI."},
+        {"serving.shadow.candidate_qoi_miss", "Shadowed rows where the candidate missed QoI."},
+        {"serving.canary.rows", "Rows served by the canary candidate."},
+        {"serving.canary.qoi_miss", "Canary-served rows that missed QoI."},
+        {"serving.retrain.coalesced", "Retrain triggers coalesced into an in-flight cycle."},
+        {"cluster.requests_served", "Requests served across all shards."},
+        {"cluster.failovers", "Requests re-routed off a dead or draining shard."},
+        {"cluster.breaker_reroutes", "Requests steered away from an open breaker."},
+        {"cluster.shard_failures", "Shards marked dead (fail_shard or kill race)."},
+        {"cluster.shards_alive", "Shards currently routable."},
+        {"cluster.shards_total", "Shards configured in the cluster."},
+        {"cluster.latency.total", "Cluster-merged per-request total latency (seconds)."},
+        {"cluster.modeled_rps", "Device-bound aggregate throughput (rows/second)."},
+        {"cluster.max_drift_score", "Worst per-model drift score across shards."},
+        {"cluster.registry_version", "Registry fan-out epoch applied to shards."},
+        {"cluster.drift_score", "Worst drift score for one model across shards."},
+        {"cluster.model_version", "Cluster registry's active version of one model."},
+        {"cluster.slo_burn_rate", "Worst per-shard SLO burn rate (per window)."},
+        {"cluster.slo_burning", "1 when any shard's burn-rate alert condition holds."},
+        {"slo.burn_rate", "Error-budget burn rate over one window (1 = on budget)."},
+        {"slo.burning", "1 while the multi-window burn alert condition holds."},
+        {"slo.events", "Request outcomes evaluated against this SLO."},
+        {"slo.bad_events", "Outcomes that consumed error budget."},
+        {"slo.alerts", "Edge-triggered slo_burn alerts raised."},
+        {"http.requests_served", "HTTP requests answered by the exposition server."},
+    };
+    for (const auto& [name, help] : seed) {
+      help_[prometheus_sanitize_name(name)] = help;
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> help_;
+};
+
 }  // namespace
+
+void register_metric_help(const std::string& family, const std::string& help) {
+  HelpRegistry::instance().set(family, help);
+}
+
+std::string metric_help(const std::string& family) {
+  return HelpRegistry::instance().get(family);
+}
 
 std::string prometheus_sanitize_name(const std::string& name) {
   std::string out;
@@ -129,9 +243,14 @@ std::string prometheus_escape_label(const std::string& value) {
   return out;
 }
 
-void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot) {
+void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot,
+                       const PrometheusOptions& opts) {
+  const auto head = [&os](const std::string& family, const char* type) {
+    os << "# HELP " << family << ' ' << escape_help(metric_help(family)) << '\n';
+    os << "# TYPE " << family << ' ' << type << '\n';
+  };
   for (const auto& [family, samples] : group_families(snapshot.counters)) {
-    os << "# TYPE " << family << " counter\n";
+    head(family, "counter");
     for (const auto& [sn, value] : samples) {
       os << family;
       write_labels(os, sn.labels);
@@ -139,7 +258,7 @@ void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot) {
     }
   }
   for (const auto& [family, samples] : group_families(snapshot.gauges)) {
-    os << "# TYPE " << family << " gauge\n";
+    head(family, "gauge");
     for (const auto& [sn, value] : samples) {
       os << family;
       write_labels(os, sn.labels);
@@ -147,7 +266,7 @@ void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot) {
     }
   }
   for (const auto& [family, samples] : group_families(snapshot.histograms)) {
-    os << "# TYPE " << family << " histogram\n";
+    head(family, "histogram");
     for (const auto& [sn, h] : samples) {
       // Cumulative buckets; empty buckets are elided (le stays increasing,
       // the running count stays monotone, the scrape stays compact).
@@ -158,7 +277,13 @@ void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot) {
         os << family << "_bucket";
         write_labels(os, sn.labels, "le",
                      format_value(LatencyHistogram::lower_bound(i + 1)));
-        os << ' ' << cumulative << '\n';
+        os << ' ' << cumulative;
+        if (opts.exemplars && h.exemplars[i].trace_id != 0) {
+          // OpenMetrics exemplar: links this bucket to one captured trace.
+          os << " # {trace_id=\"" << h.exemplars[i].trace_id << "\"} "
+             << format_value(h.exemplars[i].value);
+        }
+        os << '\n';
       }
       os << family << "_bucket";
       write_labels(os, sn.labels, "le", "+Inf");
@@ -171,15 +296,17 @@ void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot) {
       os << ' ' << h.count << '\n';
     }
   }
+  if (opts.openmetrics_eof) os << "# EOF\n";
 }
 
 void export_prometheus(std::ostream& os, const MetricsRegistry& registry) {
   export_prometheus(os, registry.snapshot());
 }
 
-std::string export_prometheus_string(const RegistrySnapshot& snapshot) {
+std::string export_prometheus_string(const RegistrySnapshot& snapshot,
+                                     const PrometheusOptions& opts) {
   std::ostringstream os;
-  export_prometheus(os, snapshot);
+  export_prometheus(os, snapshot, opts);
   return os.str();
 }
 
@@ -203,14 +330,37 @@ void export_chrome_trace(std::ostream& os, const TracerSnapshot& snapshot,
   os << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", "
         "\"args\": {\"name\": \""
      << json_escape(process_name) << "\"}}";
+  // Span ids are unique, so the ring doubles as a parent lookup table for
+  // the cross-thread flow arrows below.
+  std::map<std::uint64_t, const SpanRecord*> by_span;
+  for (const SpanRecord& s : snapshot.recent) by_span[s.span_id] = &s;
   for (const SpanRecord& s : snapshot.recent) {
-    os << ",\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << s.trace_id
+    os << ",\n  {\"ph\": \"X\", \"pid\": 1, \"tid\": " << s.thread_id
        << ", \"name\": \"" << json_escape(s.name)
        << "\", \"ts\": " << s.start_seconds * 1e6
        << ", \"dur\": " << s.duration_seconds * 1e6
        << ", \"args\": {\"trace_id\": " << s.trace_id
        << ", \"span_id\": " << s.span_id
        << ", \"parent_span_id\": " << s.parent_span_id << "}}";
+    // A parent on a different thread gets a flow-event pair (s -> f) so the
+    // viewer draws the hand-off arrow; same-thread nesting needs none. The
+    // flow id is the child span id (unique per edge).
+    const auto parent = s.parent_span_id != 0 ? by_span.find(s.parent_span_id)
+                                              : by_span.end();
+    if (parent != by_span.end() && parent->second->thread_id != s.thread_id) {
+      const SpanRecord& p = *parent->second;
+      // Anchor the start inside the parent span and the finish at the
+      // child's start; clamp so the viewer never sees f before s.
+      const double start_ts =
+          std::min(p.start_seconds, s.start_seconds) * 1e6;
+      const double finish_ts = std::max(s.start_seconds * 1e6, start_ts);
+      os << ",\n  {\"ph\": \"s\", \"pid\": 1, \"tid\": " << p.thread_id
+         << ", \"name\": \"handoff\", \"cat\": \"flow\", \"id\": " << s.span_id
+         << ", \"ts\": " << start_ts << "}";
+      os << ",\n  {\"ph\": \"f\", \"bp\": \"e\", \"pid\": 1, \"tid\": "
+         << s.thread_id << ", \"name\": \"handoff\", \"cat\": \"flow\", \"id\": "
+         << s.span_id << ", \"ts\": " << finish_ts << "}";
+    }
   }
   os << "\n], \"displayTimeUnit\": \"ms\"}\n";
 }

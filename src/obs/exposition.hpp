@@ -31,16 +31,40 @@ namespace ahn::obs {
 /// Escapes a label value (backslash, double quote, newline).
 [[nodiscard]] std::string prometheus_escape_label(const std::string& value);
 
-/// Writes the snapshot in Prometheus text format: one `# TYPE` line per
-/// metric family, counters/gauges as single samples, histograms as
+/// Registers (or replaces) the `# HELP` text for a metric family. `family`
+/// is sanitized with prometheus_sanitize_name, so callers may pass the
+/// registry-side dotted name ("serving.latency.total") or the exported one
+/// ("serving_latency_total"). Process-wide and thread-safe; components
+/// register help for the families they own at construction time.
+void register_metric_help(const std::string& family, const std::string& help);
+
+/// The registered help text for a family (after sanitization), or a generic
+/// fallback pointing at docs/OBSERVABILITY.md — every family always exports
+/// with a `# HELP` line.
+[[nodiscard]] std::string metric_help(const std::string& family);
+
+/// Exposition tuning. Defaults reproduce the plain Prometheus text format
+/// v0.0.4 (no exemplars — classic Prometheus parsers reject the suffix);
+/// `exemplars` switches histogram bucket lines to the OpenMetrics form
+/// `..._bucket{le="x"} 12 # {trace_id="7"} 3.4e-05` for scrapers that can
+/// link a slow bucket to a captured trace.
+struct PrometheusOptions {
+  bool exemplars = false;
+  bool openmetrics_eof = false;  ///< append the OpenMetrics `# EOF` terminator
+};
+
+/// Writes the snapshot in Prometheus text format: `# HELP` + `# TYPE` lines
+/// per metric family, counters/gauges as single samples, histograms as
 /// cumulative `_bucket{le=...}` series (monotone by construction; empty
 /// buckets are elided) plus `_sum` and `_count`. Ends with a newline.
-void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot);
+void export_prometheus(std::ostream& os, const RegistrySnapshot& snapshot,
+                       const PrometheusOptions& opts = {});
 
 /// Convenience overload snapshotting the live registry.
 void export_prometheus(std::ostream& os, const MetricsRegistry& registry);
 
-[[nodiscard]] std::string export_prometheus_string(const RegistrySnapshot& snapshot);
+[[nodiscard]] std::string export_prometheus_string(const RegistrySnapshot& snapshot,
+                                                   const PrometheusOptions& opts = {});
 
 /// Writes the exposition to `path`; returns false (without throwing) when
 /// the file cannot be opened or written.
@@ -49,8 +73,12 @@ bool export_prometheus_file(const std::string& path, const MetricsRegistry& regi
 
 /// Writes the tracer snapshot's recent-span ring as Chrome trace-event JSON
 /// ({"traceEvents": [...]}, loadable in chrome://tracing and Perfetto).
-/// Every span becomes a complete ("X") event with microsecond ts/dur; the
-/// trace id is used as the tid so concurrent traces land on separate rows.
+/// Every span becomes a complete ("X") event with microsecond ts/dur laid
+/// out on its real thread's row (pid 1, tid = obs::current_thread_id() of
+/// the finishing thread); trace/span/parent ids travel in args. For every
+/// parent -> child edge that crosses threads, a flow-event pair
+/// (ph "s" at the parent, ph "f" bp "e" at the child, id = child span id)
+/// draws the cross-thread arrow.
 void export_chrome_trace(std::ostream& os, const TracerSnapshot& snapshot,
                          const std::string& process_name = "auto-hpcnet");
 

@@ -1,0 +1,237 @@
+#include "obs/http_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+namespace ahn::obs {
+
+namespace {
+
+/// Reads until the end of the request headers ("\r\n\r\n") or `budget_ms`
+/// elapses. Returns false on timeout/EOF-before-headers/oversize.
+bool read_request_head(int fd, double budget_seconds, std::string* out) {
+  constexpr std::size_t kMaxHead = 16 * 1024;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(budget_seconds);
+  char buf[2048];
+  while (out->find("\r\n\r\n") == std::string::npos &&
+         out->find("\n\n") == std::string::npos) {
+    const auto left = deadline - std::chrono::steady_clock::now();
+    const int left_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+    if (left_ms <= 0 || out->size() > kMaxHead) return false;
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, left_ms);
+    if (pr <= 0) {
+      if (pr < 0 && errno == EINTR) continue;
+      return false;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// Parses "GET /path?query HTTP/1.1" out of the raw head. Returns false on
+/// anything that is not an HTTP request line.
+bool parse_request_line(const std::string& head, HttpRequest* req) {
+  const std::size_t eol = head.find_first_of("\r\n");
+  const std::string line = head.substr(0, eol);
+  std::istringstream is(line);
+  std::string target, version;
+  if (!(is >> req->method >> target >> version)) return false;
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  const std::size_t q = target.find('?');
+  req->path = target.substr(0, q);
+  req->query = q == std::string::npos ? "" : target.substr(q + 1);
+  return !req->path.empty() && req->path.front() == '/';
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const HttpResponse& res, bool head_only) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << res.status << " " << http_status_reason(res.status)
+     << "\r\nContent-Type: " << res.content_type
+     << "\r\nContent-Length: " << res.body.size()
+     << "\r\nConnection: close\r\n\r\n";
+  if (!head_only) os << res.body;
+  send_all(fd, os.str());
+}
+
+}  // namespace
+
+const char* http_status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+HttpServer::HttpServer(Options opts) : opts_(std::move(opts)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::add_route(std::string path, Handler handler) {
+  for (auto& [p, h] : routes_) {
+    if (p == path) {
+      h = std::move(handler);
+      return;
+    }
+  }
+  routes_.emplace_back(std::move(path), std::move(handler));
+}
+
+bool HttpServer::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return false;
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, opts_.backlog) != 0) {
+    ::close(fd);
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> drained;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    drained.swap(conn_threads_);
+  }
+  for (std::thread& t : drained) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, 200);  // short timeout: prompt stop()
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (in_flight_.load(std::memory_order_relaxed) >= opts_.max_connections) {
+      HttpResponse res;
+      res.status = 503;
+      res.body = "too many connections\n";
+      send_response(fd, res, /*head_only=*/false);
+      served_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    std::thread worker([this, fd] {
+      handle_connection(fd);
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    });
+    const std::lock_guard<std::mutex> lock(conn_mu_);
+    // Opportunistically reap finished-but-unjoined threads so a long-lived
+    // server under steady scrapes does not grow the join list unboundedly.
+    // (Threads are only detached from the list once joined; stop() joins
+    // whatever remains.)
+    if (conn_threads_.size() >= 2 * opts_.max_connections) {
+      for (std::thread& t : conn_threads_) {
+        if (t.joinable()) t.join();
+      }
+      conn_threads_.clear();
+    }
+    conn_threads_.push_back(std::move(worker));
+  }
+}
+
+void HttpServer::handle_connection(int fd) {
+  std::string head;
+  HttpRequest req;
+  HttpResponse res;
+  if (!read_request_head(fd, opts_.read_timeout_seconds, &head) ||
+      !parse_request_line(head, &req)) {
+    res.status = 400;
+    res.body = "bad request\n";
+    send_response(fd, res, /*head_only=*/false);
+  } else if (req.method != "GET" && req.method != "HEAD") {
+    res.status = 405;
+    res.body = "method not allowed\n";
+    send_response(fd, res, req.method == "HEAD");
+  } else {
+    dispatch(req, res);
+    send_response(fd, res, req.method == "HEAD");
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void HttpServer::dispatch(const HttpRequest& req, HttpResponse& res) const {
+  for (const auto& [path, handler] : routes_) {
+    if (path == req.path) {
+      handler(req, res);
+      return;
+    }
+  }
+  res.status = 404;
+  res.body = "not found\n";
+}
+
+}  // namespace ahn::obs

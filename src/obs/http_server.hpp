@@ -1,0 +1,114 @@
+#pragma once
+// Embedded HTTP/1.1 exposition server (docs/OBSERVABILITY.md): a minimal,
+// dependency-free listener (POSIX sockets) that serves the observability
+// surface to scrapers and humans — `/metrics` for Prometheus/OpenMetrics,
+// `/healthz` for liveness probes, plus whatever routes the embedder mounts
+// (`/slo`, `/tracez`). This is deliberately not a web framework:
+//
+//  * GET only (anything else is a 405), one request per connection
+//    (`Connection: close`), no keep-alive, no TLS, no chunked encoding;
+//  * blocking accept loop on its own thread (poll() with a short timeout so
+//    stop() is prompt), thread-per-connection handling — exposition traffic
+//    is a handful of scrapers, not a load-balanced frontend;
+//  * bind to port 0 for an ephemeral port (`port()` reports the real one),
+//    default address 127.0.0.1 so nothing is exposed off-host by accident.
+//
+// Handlers run on connection threads and must therefore be thread-safe;
+// they receive the parsed request and fill in an HttpResponse. stop() (and
+// the destructor) closes the listener, then drains: every in-flight
+// connection thread is joined before stop() returns, so a handler's
+// referents may be torn down immediately afterwards.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ahn::obs {
+
+/// Parsed request line of one inbound HTTP request.
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string path;    ///< decoded-enough path, query stripped ("/metrics")
+  std::string query;   ///< raw query string without the '?' ("" if none)
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// The standard reason phrase for the handful of statuses the server emits.
+[[nodiscard]] const char* http_status_reason(int status) noexcept;
+
+/// HttpServer tuning (top-level so the constructor's default argument can
+/// use its member initializers).
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0 = ephemeral; see port() after start()
+  int backlog = 16;
+  /// Per-connection read budget: a client that dribbles its request line
+  /// slower than this is dropped (slowloris guard).
+  double read_timeout_seconds = 5.0;
+  /// Connections beyond this many in flight get 503 without dispatching.
+  std::size_t max_connections = 32;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, HttpResponse&)>;
+  using Options = HttpServerOptions;
+
+  explicit HttpServer(Options opts = Options());
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+  ~HttpServer();
+
+  /// Mounts `handler` at an exact path. Registering again replaces the
+  /// previous handler. Must be called before start().
+  void add_route(std::string path, Handler handler);
+
+  /// Binds, listens, and starts the accept thread. Returns false (and stays
+  /// stopped) when the socket cannot be bound. Idempotent while running.
+  bool start();
+
+  /// Closes the listener and joins every connection thread. Idempotent;
+  /// also run by the destructor.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+  /// The bound port (the real one when Options::port was 0); 0 before start.
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return port_.load(std::memory_order_acquire);
+  }
+  /// Requests answered (any status) since construction.
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  void dispatch(const HttpRequest& req, HttpResponse& res) const;
+
+  Options opts_;
+  std::vector<std::pair<std::string, Handler>> routes_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint16_t> port_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::size_t> in_flight_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;  ///< joined on stop()
+};
+
+}  // namespace ahn::obs

@@ -62,7 +62,12 @@ double HistogramSnapshot::percentile(double p) const {
 }
 
 void HistogramSnapshot::merge(const HistogramSnapshot& other) {
-  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+    // Any exemplar beats none; between two, keep our own (arbitrary but
+    // associative enough for advisory trace links).
+    if (exemplars[i].trace_id == 0) exemplars[i] = other.exemplars[i];
+  }
   count += other.count;
   sum += other.sum;
   min = std::min(min, other.min);
@@ -84,9 +89,14 @@ double LatencyHistogram::lower_bound(std::size_t i) noexcept {
                                 static_cast<double>(kBuckets));
 }
 
-void LatencyHistogram::record(double seconds) noexcept {
+void LatencyHistogram::record(double seconds, std::uint64_t trace_id) noexcept {
   if (std::isnan(seconds)) return;
-  buckets_[bucket_index(seconds)].fetch_add(1, std::memory_order_relaxed);
+  const std::size_t b = bucket_index(seconds);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  if (trace_id != 0) {
+    exemplar_value_[b].store(seconds, std::memory_order_relaxed);
+    exemplar_trace_[b].store(trace_id, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   atomic_add(sum_, seconds);
   atomic_min(min_, seconds);
@@ -97,6 +107,8 @@ HistogramSnapshot LatencyHistogram::snapshot() const {
   HistogramSnapshot s;
   for (std::size_t i = 0; i < kBuckets; ++i) {
     s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.exemplars[i].trace_id = exemplar_trace_[i].load(std::memory_order_relaxed);
+    s.exemplars[i].value = exemplar_value_[i].load(std::memory_order_relaxed);
   }
   s.count = count_.load(std::memory_order_relaxed);
   s.sum = sum_.load(std::memory_order_relaxed);
@@ -112,6 +124,8 @@ HistogramSnapshot LatencyHistogram::snapshot() const {
 
 void LatencyHistogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplar_trace_) e.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplar_value_) e.store(0.0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);

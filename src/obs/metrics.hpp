@@ -48,12 +48,20 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// OpenMetrics-style exemplar: one recently recorded value and the trace id
+/// of the request that produced it. trace_id 0 = no exemplar captured.
+struct Exemplar {
+  std::uint64_t trace_id = 0;
+  double value = 0.0;
+};
+
 /// Immutable copy of one histogram; mergeable, and the thing percentiles are
 /// computed from (never the live atomics).
 struct HistogramSnapshot {
   static constexpr std::size_t kBuckets = 240;
 
   std::array<std::uint64_t, kBuckets> buckets{};
+  std::array<Exemplar, kBuckets> exemplars{};  ///< last traced sample per bucket
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = std::numeric_limits<double>::infinity();
@@ -82,7 +90,12 @@ class LatencyHistogram {
   static constexpr double kMinValue = 1e-9;
   static constexpr double kMaxValue = 1e3;
 
-  void record(double seconds) noexcept;
+  /// Records one sample. With a nonzero `trace_id`, the sample also becomes
+  /// its bucket's exemplar (last-writer-wins: two relaxed stores into the
+  /// bucket's slot — still lock-free, and a torn id/value pair can only mix
+  /// two samples of the *same* bucket, so the exemplar stays within the
+  /// bucket's bounds, which is all OpenMetrics asks of it).
+  void record(double seconds, std::uint64_t trace_id = 0) noexcept;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -102,6 +115,8 @@ class LatencyHistogram {
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplar_trace_{};
+  std::array<std::atomic<double>, kBuckets> exemplar_value_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{std::numeric_limits<double>::infinity()};

@@ -214,7 +214,11 @@ enum class AlertKind {
   kQoiDegraded,
   kBreakerOpen,
   kRolloutRolledBack,
+  kSloBurn,
 };
+
+/// Number of AlertKind values (sizes the per-kind tally array).
+inline constexpr std::size_t kAlertKinds = 5;
 
 [[nodiscard]] constexpr const char* alert_kind_name(AlertKind k) noexcept {
   switch (k) {
@@ -222,6 +226,7 @@ enum class AlertKind {
     case AlertKind::kQoiDegraded: return "qoi_degraded";
     case AlertKind::kBreakerOpen: return "breaker_open";
     case AlertKind::kRolloutRolledBack: return "rollout_rolled_back";
+    case AlertKind::kSloBurn: return "slo_burn";
   }
   return "unknown";
 }
@@ -274,7 +279,7 @@ class AlertSink {
   std::vector<Alert> ring_;
   std::size_t ring_next_ = 0;
   std::atomic<std::uint64_t> raised_{0};
-  std::array<std::atomic<std::uint64_t>, 4> by_kind_{};
+  std::array<std::atomic<std::uint64_t>, kAlertKinds> by_kind_{};
 };
 
 struct MonitorOptions {

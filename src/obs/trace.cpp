@@ -17,10 +17,19 @@ thread_local SpanContext t_current{};
 /// so records from different tracers can be correlated in one export.
 std::atomic<std::uint64_t> g_next_trace{1};
 std::atomic<std::uint64_t> g_next_span{1};
+std::atomic<std::uint64_t> g_next_thread{1};
 
 std::uint64_t current_trace_id_for_log() noexcept { return t_current.trace_id; }
 
 }  // namespace
+
+std::uint64_t current_thread_id() noexcept {
+  // Sequential small ids (not pthread handles): Chrome-trace tid rows stay
+  // compact and deterministic-ish across runs.
+  thread_local const std::uint64_t id =
+      g_next_thread.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 Tracer::Tracer(std::size_t ring_capacity)
     : capacity_(std::max<std::size_t>(1, ring_capacity)) {
@@ -84,6 +93,21 @@ TracerSnapshot Tracer::snapshot() const {
   return s;
 }
 
+SpanContext Tracer::record_span(std::string name, SpanContext parent,
+                                double start_seconds, double duration_seconds) {
+  SpanRecord rec;
+  rec.name = std::move(name);
+  rec.trace_id = parent.trace_id != 0 ? parent.trace_id : next_trace_id();
+  rec.span_id = next_span_id();
+  rec.parent_span_id = parent.span_id;
+  rec.thread_id = current_thread_id();
+  rec.start_seconds = start_seconds;
+  rec.duration_seconds = duration_seconds;
+  const SpanContext ctx{rec.trace_id, rec.span_id};
+  record(std::move(rec));
+  return ctx;
+}
+
 std::uint64_t Tracer::spans_recorded() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return recorded_;
@@ -126,6 +150,7 @@ void Span::finish() noexcept {
   rec.trace_id = ctx_.trace_id;
   rec.span_id = ctx_.span_id;
   rec.parent_span_id = parent_span_id_;
+  rec.thread_id = current_thread_id();
   rec.start_seconds = start_seconds_;
   rec.duration_seconds = timer_.seconds();
   try {

@@ -32,9 +32,15 @@ struct SpanRecord {
   std::uint64_t trace_id = 0;
   std::uint64_t span_id = 0;
   std::uint64_t parent_span_id = 0;  ///< 0 = root span of its trace
+  std::uint64_t thread_id = 0;       ///< small sequential id of the finishing thread
   double start_seconds = 0.0;        ///< offset from the tracer's epoch
   double duration_seconds = 0.0;
 };
+
+/// Small process-unique sequential id of the calling OS thread (1, 2, ...),
+/// assigned on first use. Stable for the thread's lifetime; what SpanRecords
+/// stamp so the Chrome-trace export can lay spans out on real thread rows.
+[[nodiscard]] std::uint64_t current_thread_id() noexcept;
 
 /// Aggregate over every finished span of one name.
 struct SpanStats {
@@ -71,6 +77,21 @@ class Tracer {
 
   /// Total spans ever recorded (including ones evicted from the ring).
   [[nodiscard]] std::uint64_t spans_recorded() const;
+
+  /// Seconds elapsed since this tracer's epoch — the time base SpanRecord
+  /// start offsets are expressed in. Callers that record spans after the
+  /// fact (record_span) capture this at the event's start.
+  [[nodiscard]] double now_seconds() const noexcept { return seconds_since_epoch(); }
+
+  /// Records an already-elapsed interval as a finished span without ever
+  /// making it the thread's current span: the batching queue uses this to
+  /// emit one "batching.batch_wait" span per coalesced row at dispatch time,
+  /// parented under the *submitting* request's context rather than the
+  /// executing thread's. `start_seconds` is in now_seconds() time; a parent
+  /// with trace_id 0 starts a fresh trace. Returns the created span's
+  /// context (for further explicit-parent children).
+  SpanContext record_span(std::string name, SpanContext parent,
+                          double start_seconds, double duration_seconds);
 
   void reset();
 

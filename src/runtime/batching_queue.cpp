@@ -1,5 +1,6 @@
 #include "runtime/batching_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -68,6 +69,11 @@ std::future<Result<Tensor>> BatchingQueue::submit(const std::string& model,
     pending.rows.push_back(std::move(row));
     pending.promises.push_back(std::move(promise));
     pending.deadlines.push_back(deadline);
+    // The submitting thread's span context rides along so dispatch — which
+    // may happen on the flusher or another client's thread — can parent
+    // batch_wait/execute spans under the trace that enqueued the row.
+    pending.contexts.push_back(obs::Tracer::current());
+    pending.enqueue_seconds.push_back(tracer_ != nullptr ? tracer_->now_seconds() : 0.0);
     update_depth_locked(+1);
     if (pending.rows.size() >= opts_.max_batch) ready = take_locked(model);
   }
@@ -142,17 +148,44 @@ void BatchingQueue::execute(const std::string& model, PendingBatch batch) {
     live.rows.push_back(std::move(batch.rows[r]));
     live.promises.push_back(std::move(batch.promises[r]));
     live.deadlines.push_back(batch.deadlines[r]);
+    live.contexts.push_back(batch.contexts[r]);
+    live.enqueue_seconds.push_back(batch.enqueue_seconds[r]);
   }
   if (live.empty()) return;
 
+  // Per traced row, the coalescing delay becomes a "batching.batch_wait"
+  // span parented under the *submitting* request — the one interval a
+  // thread-current span could never cover, since no thread runs it.
+  obs::SpanContext batch_parent{};  // first traced row adopts the batch
+  if (tracer_ != nullptr) {
+    const double now_s = tracer_->now_seconds();
+    for (std::size_t r = 0; r < live.contexts.size(); ++r) {
+      if (live.contexts[r].trace_id == 0) continue;
+      const double start = live.enqueue_seconds[r];
+      tracer_->record_span("batching.batch_wait", live.contexts[r], start,
+                           std::max(0.0, now_s - start));
+      if (batch_parent.trace_id == 0) batch_parent = live.contexts[r];
+    }
+  }
+
   // One span per dispatched batch: the coalescing itself is what the trace
-  // should show (B requests riding one fetch/encode/load/run).
+  // should show (B requests riding one fetch/encode/load/run). When the
+  // batch carries a traced row, the span joins that trace (explicit parent —
+  // the dispatching thread may be the flusher with no current span). A batch
+  // with no traced row and no ambient trace records nothing: head sampling
+  // decides at the cluster edge, not here.
   std::optional<obs::Span> span;
-  if (tracer_ != nullptr) span.emplace(*tracer_, "batching.execute");
+  if (tracer_ != nullptr) {
+    if (batch_parent.trace_id != 0) {
+      span.emplace(*tracer_, "batching.execute", batch_parent);
+    } else if (obs::Tracer::current().trace_id != 0) {
+      span.emplace(*tracer_, "batching.execute");
+    }
+  }
 
   RowResults results;
   try {
-    results = run_batch_(model, nn::pack_rows(live.rows));
+    results = run_batch_(model, nn::pack_rows(live.rows), live.contexts);
   } catch (const std::exception& e) {
     // The BatchFn contract is no-throw; treat an escapee as an internal
     // error rather than letting it tear down a serving thread.

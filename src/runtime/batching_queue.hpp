@@ -59,11 +59,19 @@ class BatchingQueue {
   /// called from client threads (on batch-full) and from the flusher thread,
   /// potentially concurrently for different batches — it must be
   /// thread-safe, and it must not throw: typed failures travel as Statuses.
+  /// `contexts` carries one SpanContext per batch row (trace_id 0 = the row
+  /// was submitted untraced) so per-row downstream work — QoI fallback
+  /// spans, latency exemplars — can stay attached to the submitting trace.
   using RowResults = std::vector<Result<Tensor>>;
-  using BatchFn = std::function<RowResults(const std::string& model, const Tensor& batch)>;
+  using BatchFn =
+      std::function<RowResults(const std::string& model, const Tensor& batch,
+                               const std::vector<obs::SpanContext>& contexts)>;
 
-  /// `tracer` (optional) receives one "batching.execute" span per dispatched
-  /// batch, parented under the submitting/flushing caller's current span.
+  /// `tracer` (optional) receives, per dispatched batch, one
+  /// "batching.execute" span — parented under the first traced row's context
+  /// when the batch carries one (cross-thread hand-off), else under the
+  /// executing thread's current span — plus one "batching.batch_wait" span
+  /// per traced row covering its enqueue -> dispatch interval.
   BatchingQueue(BatchFn run_batch, BatchingOptions opts, ServingStats* stats = nullptr,
                 obs::Tracer* tracer = nullptr);
   ~BatchingQueue();  ///< stops the flusher; fails stragglers with kShuttingDown
@@ -95,6 +103,8 @@ class BatchingQueue {
     std::vector<Tensor> rows;                   // each (1 x features)
     std::vector<std::promise<Result<Tensor>>> promises;
     std::vector<Deadline> deadlines;
+    std::vector<obs::SpanContext> contexts;     // submitter's span per row
+    std::vector<double> enqueue_seconds;        // tracer-epoch enqueue time
 
     [[nodiscard]] bool empty() const noexcept { return rows.empty(); }
   };

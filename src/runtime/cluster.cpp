@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
+#include <sstream>
 
 #include "common/error.hpp"
+#include "obs/exposition.hpp"
 #include "runtime/circuit_breaker.hpp"
 
 namespace ahn::runtime {
@@ -16,6 +19,12 @@ std::future<Result<Tensor>> ready_result(Result<Tensor> r) {
   std::promise<Result<Tensor>> p;
   p.set_value(std::move(r));
   return p.get_future();
+}
+
+/// Head-sampling draw: true for every `every`'th call (0 = never).
+bool sample_head(std::atomic<std::uint64_t>& ticker, std::size_t every) {
+  return every > 0 &&
+         ticker.fetch_add(1, std::memory_order_relaxed) % every == 0;
 }
 
 /// Appends a shard="<id>" label to a metric name, composing with an
@@ -38,7 +47,9 @@ ClusterOrchestrator::ClusterOrchestrator(ClusterOptions opts)
       breaker_reroutes_(cluster_metrics_.counter("cluster.breaker_reroutes")),
       shard_failures_(cluster_metrics_.counter("cluster.shard_failures")),
       shards_alive_gauge_(cluster_metrics_.gauge("cluster.shards_alive")),
-      shards_total_gauge_(cluster_metrics_.gauge("cluster.shards_total")) {
+      shards_total_gauge_(cluster_metrics_.gauge("cluster.shards_total")),
+      tracer_(opts.shard_opts.tracer != nullptr ? opts.shard_opts.tracer
+                                                : &obs::Tracer::global()) {
   AHN_CHECK_MSG(opts_.shards >= 1, "cluster needs at least one shard");
   AHN_CHECK_MSG(opts_.replication >= 1, "replication factor must be >= 1");
   shards_.reserve(opts_.shards);
@@ -344,6 +355,14 @@ Status ClusterOrchestrator::run_model(const std::string& name,
                                       const std::string& in_key,
                                       const std::string& out_key,
                                       PhaseAccumulator* phases) {
+  // Cluster head sampling: every Nth request opens the root span of a new
+  // trace (a caller already inside a trace always joins it); the shard's
+  // own serve.* spans then nest under it on this thread.
+  std::optional<obs::Span> root;
+  if (obs::Tracer::current().trace_id != 0 ||
+      sample_head(trace_ticker_, opts_.shard_opts.trace_sample_every)) {
+    root.emplace(*tracer_, "cluster.run_model");
+  }
   const std::vector<std::size_t> owners = router_.owners(in_key);
   bool primary_seen = false;
   Status last(StatusCode::kTransientFailure,
@@ -370,6 +389,9 @@ Status ClusterOrchestrator::run_model(const std::string& name,
       // This replica misses the key (it was dead for the put) or is going
       // down — the next owner can still serve the request.
       failovers_.increment();
+      if (const obs::SpanContext ctx = obs::Tracer::current(); ctx.trace_id != 0) {
+        tracer_->record_span("cluster.failover", ctx, tracer_->now_seconds(), 0.0);
+      }
       last = st;
       continue;
     }
@@ -397,6 +419,13 @@ std::vector<std::size_t> ClusterOrchestrator::prefer_closed_breakers(
 std::future<Result<Tensor>> ClusterOrchestrator::submit_failover(
     const std::vector<std::size_t>& candidates, const std::string& name,
     const Tensor& row, const RequestOptions& request) {
+  // Routing happens inside a "cluster.route" child span when the request is
+  // traced: the shard-side serve.run_model_batched span (same thread) nests
+  // under it, carrying the trace id into the shard's batching queue.
+  std::optional<obs::Span> route;
+  if (obs::Tracer::current().trace_id != 0) {
+    route.emplace(*tracer_, "cluster.route");
+  }
   for (const std::size_t s : candidates) {
     std::future<Result<Tensor>> fut =
         shard_ptr(s)->run_model_batched(name, row, request);
@@ -412,6 +441,9 @@ std::future<Result<Tensor>> ClusterOrchestrator::submit_failover(
     // The kill race: the shard started draining between routing and submit.
     // Mark it dead so the router stops offering it, and resubmit.
     failovers_.increment();
+    if (const obs::SpanContext ctx = obs::Tracer::current(); ctx.trace_id != 0) {
+      tracer_->record_span("cluster.failover", ctx, tracer_->now_seconds(), 0.0);
+    }
     router_.set_alive(s, false);
     set_alive_gauges();
   }
@@ -421,6 +453,11 @@ std::future<Result<Tensor>> ClusterOrchestrator::submit_failover(
 
 std::future<Result<Tensor>> ClusterOrchestrator::run_model_batched(
     const std::string& name, Tensor row, RequestOptions request) {
+  std::optional<obs::Span> root;
+  if (obs::Tracer::current().trace_id != 0 ||
+      sample_head(trace_ticker_, opts_.shard_opts.trace_sample_every)) {
+    root.emplace(*tracer_, "cluster.run_model_batched");
+  }
   // Round-robin over the alive shards: maximum spread, no key affinity.
   std::vector<std::size_t> alive;
   alive.reserve(shard_count());
@@ -442,6 +479,11 @@ std::future<Result<Tensor>> ClusterOrchestrator::run_model_batched(
 std::future<Result<Tensor>> ClusterOrchestrator::run_model_batched(
     const std::string& name, Tensor row, const std::string& routing_key,
     RequestOptions request) {
+  std::optional<obs::Span> root;
+  if (obs::Tracer::current().trace_id != 0 ||
+      sample_head(trace_ticker_, opts_.shard_opts.trace_sample_every)) {
+    root.emplace(*tracer_, "cluster.run_model_batched");
+  }
   const std::vector<std::size_t> owners = router_.owners(routing_key);
   std::vector<std::size_t> alive;
   alive.reserve(owners.size());
@@ -537,9 +579,14 @@ ClusterHealth ClusterOrchestrator::cluster_health() {
   const std::vector<std::string> names = model_names();
   obs::HistogramSnapshot cluster_latency;
   double max_device_seconds = 0.0;
+  double max_slo_burn = 0.0;   // worst burn rate across shards/specs/windows
+  double slo_burning = 0.0;    // 1 when any shard's alert condition holds
 
   for (std::size_t i = 0; i < shard_count(); ++i) {
     const std::shared_ptr<Orchestrator> orc = shard_ptr(i);
+    // Scrape-driven SLO evaluation: burns decay to "now" and alert edges
+    // fire/clear even when the shard's inline eval cadence hasn't hit.
+    orc->slo_engine().evaluate();
     const obs::RegistrySnapshot snap = orc->stats().metrics().snapshot();
 
     ShardHealth sh;
@@ -570,6 +617,10 @@ ClusterHealth ClusterOrchestrator::cluster_health() {
       h.merged.counters[with_shard_label(k, i)] = v;
     }
     for (const auto& [k, v] : snap.gauges) {
+      // A shard's SLO gauges roll up pessimistically: the cluster burns as
+      // hard as its worst shard.
+      if (k.rfind("slo.burn_rate", 0) == 0) max_slo_burn = std::max(max_slo_burn, v);
+      if (k.rfind("slo.burning", 0) == 0) slo_burning = std::max(slo_burning, v);
       h.merged.gauges[with_shard_label(k, i)] = v;
     }
     for (const auto& [k, v] : snap.histograms) {
@@ -613,11 +664,89 @@ ClusterHealth ClusterOrchestrator::cluster_health() {
   h.merged.gauges["cluster.max_drift_score"] = h.max_drift_score;
   h.merged.gauges["cluster.registry_version"] =
       static_cast<double>(h.registry_version);
+  h.merged.gauges["cluster.slo_burn_rate"] = max_slo_burn;
+  h.merged.gauges["cluster.slo_burning"] = slo_burning;
   return h;
 }
 
 void ClusterOrchestrator::drain() {
   for (std::size_t i = 0; i < shard_count(); ++i) shard_ptr(i)->drain();
+}
+
+// --- exposition ---------------------------------------------------------------
+
+obs::HttpServer& ClusterOrchestrator::serve_exposition(std::uint16_t port) {
+  const std::lock_guard<std::mutex> lock(http_mu_);
+  if (http_ != nullptr && http_->running()) return *http_;
+  obs::HttpServer::Options hopts;
+  hopts.port = port;
+  auto server = std::make_unique<obs::HttpServer>(hopts);
+
+  // Handlers run on the server's connection threads; everything they read
+  // (shards, tracer, cluster metrics) is thread-safe and outlives the
+  // server (it is declared last, so destroyed/drained first).
+  server->add_route("/metrics", [this](const obs::HttpRequest&,
+                                       obs::HttpResponse& res) {
+    ClusterHealth h = cluster_health();
+    {
+      const std::lock_guard<std::mutex> http_lock(http_mu_);
+      if (http_ != nullptr) {
+        h.merged.counters["http.requests_served"] = http_->requests_served();
+      }
+    }
+    obs::PrometheusOptions popts;
+    popts.exemplars = true;
+    popts.openmetrics_eof = true;
+    res.content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    res.body = obs::export_prometheus_string(h.merged, popts);
+  });
+
+  server->add_route("/healthz", [this](const obs::HttpRequest&,
+                                       obs::HttpResponse& res) {
+    const std::size_t total = shard_count();
+    const std::size_t alive = router_.alive_count();
+    std::ostringstream os;
+    os << "{\"status\": \"" << (alive > 0 ? "ok" : "unavailable")
+       << "\", \"shards_alive\": " << alive << ", \"shards_total\": " << total
+       << ", \"shards\": [";
+    for (std::size_t i = 0; i < total; ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"shard\": " << i << ", \"alive\": "
+         << (router_.alive(i) ? "true" : "false") << "}";
+    }
+    os << "]}\n";
+    res.status = alive > 0 ? 200 : 503;
+    res.content_type = "application/json";
+    res.body = os.str();
+  });
+
+  server->add_route("/slo", [this](const obs::HttpRequest&,
+                                   obs::HttpResponse& res) {
+    std::ostringstream os;
+    os << "{\"shards\": [";
+    for (std::size_t i = 0; i < shard_count(); ++i) {
+      if (i > 0) os << ", ";
+      obs::SloEngine& eng = shard_ptr(i)->slo_engine();
+      eng.evaluate();
+      os << "{\"shard\": " << i << ", \"alive\": "
+         << (router_.alive(i) ? "true" : "false") << ", \"slos\": "
+         << eng.status_json() << "}";
+    }
+    os << "]}\n";
+    res.content_type = "application/json";
+    res.body = os.str();
+  });
+
+  server->add_route("/tracez", [this](const obs::HttpRequest&,
+                                      obs::HttpResponse& res) {
+    res.content_type = "application/json";
+    res.body = obs::export_chrome_trace_string(tracer_->snapshot());
+  });
+
+  AHN_CHECK_MSG(server->start(), "exposition server failed to bind port "
+                                     << port);
+  http_ = std::move(server);
+  return *http_;
 }
 
 }  // namespace ahn::runtime

@@ -51,8 +51,10 @@
 #include "common/serving_stats.hpp"
 #include "common/status.hpp"
 #include "common/timer.hpp"
+#include "obs/http_server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
+#include "obs/trace.hpp"
 #include "runtime/deployment.hpp"
 #include "runtime/orchestrator.hpp"
 #include "runtime/shard_router.hpp"
@@ -221,6 +223,17 @@ class ClusterOrchestrator : public RolloutHost {
   /// serving its keys; entries repopulate on subsequent puts).
   void revive_shard(std::size_t i);
 
+  // --- exposition ----------------------------------------------------------
+  /// Starts (idempotently) the embedded HTTP exposition server
+  /// (docs/OBSERVABILITY.md) bound to 127.0.0.1:`port` (0 = ephemeral — read
+  /// the real one off the returned server) serving:
+  ///   /metrics — cluster-merged OpenMetrics text with exemplars + `# EOF`
+  ///   /healthz — liveness JSON; 200 while >= 1 shard is alive, else 503
+  ///   /slo     — per-shard SLO burn-rate verdicts as JSON
+  ///   /tracez  — the tracer's recent-span ring as Chrome trace JSON
+  /// The server drains on cluster destruction (before the shards it reads).
+  obs::HttpServer& serve_exposition(std::uint16_t port = 0);
+
   // --- aggregate health -----------------------------------------------------
   [[nodiscard]] ClusterHealth cluster_health();
   /// Modeled accelerator-busy seconds accumulated by shard `i`.
@@ -297,6 +310,17 @@ class ClusterOrchestrator : public RolloutHost {
   obs::Counter& shard_failures_;
   obs::Gauge& shards_alive_gauge_;
   obs::Gauge& shards_total_gauge_;
+
+  /// Span sink for the cluster-level request spans (route/failover); the
+  /// shards share it (shard_opts.tracer), so one trace id crosses the
+  /// router -> shard -> batch hops. Never null.
+  obs::Tracer* tracer_;
+  std::atomic<std::uint64_t> trace_ticker_{0};  ///< cluster head-sampling
+
+  /// Declared after shards_ so it is destroyed (and drained) first — its
+  /// handlers read the shards and the tracer.
+  std::mutex http_mu_;
+  std::unique_ptr<obs::HttpServer> http_;
 };
 
 }  // namespace ahn::runtime

@@ -27,7 +27,11 @@ Orchestrator::Orchestrator(DeviceModel device, OrchestratorOptions opts)
     : device_(device),
       opts_(opts),
       tracer_(opts.tracer != nullptr ? opts.tracer : &obs::Tracer::global()),
-      tensors_(opts.store_shards) {}
+      tensors_(opts.store_shards) {
+  // The SLO engine outlives every serving thread (destroyed after the
+  // executors join) and feeds this orchestrator's own alert sink/registry.
+  slo_ = std::make_unique<obs::SloEngine>(opts_.slos, &alerts_, &stats_.metrics());
+}
 
 Orchestrator::~Orchestrator() = default;
 
@@ -463,14 +467,20 @@ Result<Tensor> Orchestrator::execute_with_retry(const ServableModel& m,
   }
 }
 
-void Orchestrator::record_requests(const RequestPhases& batch_phases, std::size_t rows) {
+void Orchestrator::record_requests(const RequestPhases& batch_phases, std::size_t rows,
+                                   const std::vector<obs::SpanContext>& contexts) {
   if (rows == 0) return;
   const double n = static_cast<double>(rows);
   // Per-request latency is the batch's modeled phase time amortized over the
   // coalesced rows — the quantity the batch-size histogram trades against.
   const RequestPhases per_request{batch_phases.fetch / n, batch_phases.encode / n,
                                   batch_phases.load / n, batch_phases.run / n};
-  for (std::size_t i = 0; i < rows; ++i) stats_.record_request(per_request);
+  for (std::size_t i = 0; i < rows; ++i) {
+    // Traced rows stamp their trace id onto the latency buckets they land
+    // in, so a scraped histogram links straight to a captured trace.
+    const std::uint64_t trace_id = i < contexts.size() ? contexts[i].trace_id : 0;
+    stats_.record_request(per_request, trace_id);
+  }
 }
 
 Status Orchestrator::run_model(const std::string& name, const std::string& in_key,
@@ -546,8 +556,23 @@ std::future<Result<Tensor>> Orchestrator::run_model_batched(const std::string& n
     stats_.record_shutdown_rejection();
     return ready_result(Status(StatusCode::kShuttingDown, "orchestrator draining"));
   }
+  // Head sampling: a request arriving with a trace already current on this
+  // thread (the cluster router's route span) always joins it; otherwise
+  // every trace_sample_every'th request opens a fresh root span. The span
+  // covers admission + enqueue; the queue carries its context the rest of
+  // the way (batch_wait -> execute -> qoi children + exemplars).
+  std::optional<obs::Span> span;
+  if (obs::Tracer::current().trace_id != 0) {
+    span.emplace(*tracer_, "serve.run_model_batched");
+  } else if (opts_.trace_sample_every > 0 &&
+             trace_ticker_.fetch_add(1, std::memory_order_relaxed) %
+                     opts_.trace_sample_every ==
+                 0) {
+    span.emplace(*tracer_, "serve.run_model_batched");
+  }
   const std::shared_ptr<const ServableModel> m = find_model(name);
   if (m == nullptr) {
+    slo_->record_dropped(name);
     return ready_result(
         Status(StatusCode::kModelUnavailable, "no model named '" + name + "'"));
   }
@@ -556,8 +581,9 @@ std::future<Result<Tensor>> Orchestrator::run_model_batched(const std::string& n
       // Open (or probe-saturated half-open) breaker: the request is served
       // by the original code on the caller's thread — graceful systemic
       // degradation instead of doomed surrogate traffic.
-      const obs::Span span(*tracer_, "serve.breaker_fallback");
+      const obs::Span fb_span(*tracer_, "serve.breaker_fallback");
       stats_.record_breaker_fallback();
+      slo_->record(name, 0.0, /*ok=*/true, /*qoi_fallback=*/true);
       if (row.rank() == 1) row.reshape({1, row.size()});
       return ready_result(Result<Tensor>(m->fallback(row)));
     }
@@ -565,12 +591,10 @@ std::future<Result<Tensor>> Orchestrator::run_model_batched(const std::string& n
   return batches().submit(name, std::move(row), request.deadline);
 }
 
-BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
-                                                       const ServableModel& m,
-                                                       const Tensor& batch,
-                                                       const Tensor& out,
-                                                       ActiveRollout* ro,
-                                                       const Tensor* cand_out) {
+BatchingQueue::RowResults Orchestrator::finalize_batch(
+    const std::string& name, const ServableModel& m, const Tensor& batch,
+    const Tensor& out, ActiveRollout* ro, const Tensor* cand_out,
+    const std::vector<obs::SpanContext>& contexts, double per_row_seconds) {
   const std::size_t rows = batch.rows();
   BatchingQueue::RowResults results;
   results.reserve(rows);
@@ -639,6 +663,7 @@ BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
     if (hook) hook(name, batch.row(r), served_ok);
 
     if (served_ok) {
+      slo_->record(name, per_row_seconds, /*ok=*/true, /*qoi_fallback=*/false);
       results.emplace_back(serve_candidate ? std::move(cand_row)
                                            : std::move(row_out));
       continue;
@@ -646,11 +671,21 @@ BatchingQueue::RowResults Orchestrator::finalize_batch(const std::string& name,
     stats_.record_qoi_fallback();
     if (m.fallback) {
       // §7.1: re-run the original code for this request, transparently.
-      // Nested under the enclosing batch span (same thread), so the trace
-      // shows which batch paid the original-code cost.
-      const obs::Span span(*tracer_, "serve.qoi_fallback");
+      // Parented under the submitting request's span when the row is traced
+      // (the trace shows *which request* paid the original-code cost), else
+      // under the enclosing batch span (same thread).
+      const obs::SpanContext row_ctx =
+          r < contexts.size() ? contexts[r] : obs::SpanContext{};
+      std::optional<obs::Span> span;
+      if (row_ctx.trace_id != 0) {
+        span.emplace(*tracer_, "serve.qoi_fallback", row_ctx);
+      } else {
+        span.emplace(*tracer_, "serve.qoi_fallback");
+      }
+      slo_->record(name, per_row_seconds, /*ok=*/true, /*qoi_fallback=*/true);
       results.emplace_back(m.fallback(input_row()));
     } else {
+      slo_->record(name, per_row_seconds, /*ok=*/false, /*qoi_fallback=*/false);
       results.emplace_back(
           Status(StatusCode::kQoIRejected, "QoI miss with no original-code fallback"));
     }
@@ -686,24 +721,37 @@ BatchingQueue& Orchestrator::batches() {
     bopts.max_batch = opts_.max_batch;
     bopts.max_delay_seconds = opts_.batch_delay_seconds;
     batches_ = std::make_unique<BatchingQueue>(
-        [this](const std::string& model_name,
-               const Tensor& batch) -> BatchingQueue::RowResults {
+        [this](const std::string& model_name, const Tensor& batch,
+               const std::vector<obs::SpanContext>& contexts)
+            -> BatchingQueue::RowResults {
           // Nested inside the queue's "batching.execute" span (same thread):
           // the batch span covers model lookup + the fused forward + QoI.
-          const obs::Span span(*tracer_, "serve.batch");
+          // Join-only — when the batch carried no traced row there is no
+          // current span and this batch records nothing (head sampling is
+          // decided at the serving edge).
+          std::optional<obs::Span> span;
+          if (obs::Tracer::current().trace_id != 0) {
+            span.emplace(*tracer_, "serve.batch");
+          }
           const std::size_t rows = batch.rows();
+          const auto fail_rows = [&](const Status& status) {
+            // A batch-wide failure is `rows` availability bad events.
+            for (std::size_t r = 0; r < rows; ++r) {
+              slo_->record(model_name, 0.0, /*ok=*/false, /*qoi_fallback=*/false);
+            }
+            return BatchingQueue::RowResults(rows, Result<Tensor>(status));
+          };
           const std::shared_ptr<const ServableModel> m = find_model(model_name);
           if (m == nullptr) {
-            return BatchingQueue::RowResults(
-                rows, Result<Tensor>(Status(StatusCode::kModelUnavailable,
-                                            "no model named '" + model_name + "'")));
+            return fail_rows(Status(StatusCode::kModelUnavailable,
+                                    "no model named '" + model_name + "'"));
           }
           RequestPhases batch_phases;
           Result<Tensor> out = execute_with_retry(*m, batch, &batch_phases);
           if (!out.is_ok()) {
-            return BatchingQueue::RowResults(rows, Result<Tensor>(out.status()));
+            return fail_rows(out.status());
           }
-          record_requests(batch_phases, rows);
+          record_requests(batch_phases, rows, contexts);
 
           // Live rollout for this model: run the candidate's duplicate
           // forward over the same batch (no stats, no fault injection — the
@@ -715,16 +763,24 @@ BatchingQueue& Orchestrator::batches() {
           if (ro != nullptr) {
             const RolloutState st = ro->ctl.poll();
             if (st == RolloutState::kShadow || st == RolloutState::kCanary) {
-              const obs::Span shadow_span(*tracer_, "serve.shadow_infer");
+              std::optional<obs::Span> shadow_span;
+              if (obs::Tracer::current().trace_id != 0) {
+                shadow_span.emplace(*tracer_, "serve.shadow_infer");
+              }
               const ServableModel& cand = *ro->candidate;
               cand_out = cand.encode ? cand.surrogate.predict(cand.encode(batch))
                                      : cand.surrogate.predict(batch);
               have_candidate = cand_out.rows() == rows;
             }
           }
+          const double per_row_seconds =
+              rows > 0 ? (batch_phases.fetch + batch_phases.encode +
+                          batch_phases.load + batch_phases.run) /
+                             static_cast<double>(rows)
+                       : 0.0;
           BatchingQueue::RowResults results = finalize_batch(
               model_name, *m, batch, out.value(), have_candidate ? ro.get() : nullptr,
-              have_candidate ? &cand_out : nullptr);
+              have_candidate ? &cand_out : nullptr, contexts, per_row_seconds);
           if (ro != nullptr) maybe_conclude_rollout(model_name, *ro);
           return results;
         },

@@ -48,6 +48,7 @@
 #include "common/timer.hpp"
 #include "nn/train.hpp"
 #include "obs/monitor.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/batching_queue.hpp"
 #include "runtime/circuit_breaker.hpp"
@@ -120,6 +121,20 @@ struct OrchestratorOptions {
   /// Span sink for the per-request serving traces (docs/OBSERVABILITY.md).
   /// nullptr = obs::Tracer::global(); tests point this at their own tracer.
   obs::Tracer* tracer = nullptr;
+
+  /// Head-sampling rate for the batched request path: every Nth
+  /// run_model_batched call opens a root "serve.run_model_batched" span (and
+  /// its batch_wait/execute/qoi children + latency exemplars follow). A call
+  /// arriving with a trace already current on its thread (the cluster
+  /// router) always joins that trace regardless of sampling. 0 disables
+  /// head sampling; 1 traces everything (tests).
+  std::size_t trace_sample_every = 16;
+
+  /// Declarative SLOs over the served-request stream (docs/OBSERVABILITY.md).
+  /// Every batched-path outcome is folded into each matching spec; burn-rate
+  /// gauges land in stats().metrics() and edge-triggered kSloBurn alerts in
+  /// alerts(). Empty = no SLO engine overhead beyond an empty loop.
+  std::vector<obs::SloSpec> slos;
 };
 
 /// Per-request options for the batched path.
@@ -300,6 +315,11 @@ class Orchestrator : public RolloutHost {
   /// OrchestratorOptions::tracer).
   [[nodiscard]] obs::Tracer& tracer() const noexcept { return *tracer_; }
 
+  /// The burn-rate evaluator over OrchestratorOptions::slos (never null;
+  /// empty spec list when none were configured). Exposed for the /slo
+  /// endpoint, the cluster coordinator, and tests.
+  [[nodiscard]] obs::SloEngine& slo_engine() noexcept { return *slo_; }
+
   [[nodiscard]] const DeviceModel& device() const noexcept { return device_; }
   [[nodiscard]] const OrchestratorOptions& options() const noexcept { return opts_; }
 
@@ -329,8 +349,11 @@ class Orchestrator : public RolloutHost {
       const std::string& name) const;
 
   /// Records one executed batch of `rows` requests into stats_ (per-request
-  /// latency = batch phases amortized over the rows).
-  void record_requests(const RequestPhases& batch_phases, std::size_t rows);
+  /// latency = batch phases amortized over the rows). `contexts` (may be
+  /// empty) carries each row's submitting span so traced rows stamp latency
+  /// exemplars onto the histogram buckets they land in.
+  void record_requests(const RequestPhases& batch_phases, std::size_t rows,
+                       const std::vector<obs::SpanContext>& contexts = {});
 
   /// One in-flight rollout: the candidate weights pinned for the shadow
   /// duplicate forward, the state machine, and cached metric handles (the
@@ -371,10 +394,14 @@ class Orchestrator : public RolloutHost {
   /// Per-row QoI check + fallback + breaker outcome for one executed batch.
   /// With a live rollout, `ro`/`cand_out` carry the candidate's duplicate
   /// forward: shadow rows are double-scored (response untouched), canary
-  /// rows are served from the candidate output.
+  /// rows are served from the candidate output. `contexts` (one per row, or
+  /// empty) parents each row's qoi_fallback span under its submitting
+  /// request; `per_row_seconds` (the amortized batch latency) feeds the SLO
+  /// engine's per-outcome stream.
   [[nodiscard]] BatchingQueue::RowResults finalize_batch(
       const std::string& name, const ServableModel& m, const Tensor& batch,
-      const Tensor& out, ActiveRollout* ro, const Tensor* cand_out);
+      const Tensor& out, ActiveRollout* ro, const Tensor* cand_out,
+      const std::vector<obs::SpanContext>& contexts, double per_row_seconds);
 
   ThreadPool& pool();
   BatchingQueue& batches();
@@ -421,6 +448,13 @@ class Orchestrator : public RolloutHost {
   obs::AlertSink alerts_;
   std::mutex monitors_mu_;
   std::unordered_map<std::string, std::unique_ptr<obs::ModelMonitor>> monitors_;
+
+  /// Burn-rate evaluation over opts_.slos (constructed after alerts_ and
+  /// stats_, which it feeds into). Never null.
+  std::unique_ptr<obs::SloEngine> slo_;
+
+  /// Head-sampling counter for the batched trace path.
+  std::atomic<std::uint64_t> trace_ticker_{0};
 
   // Both executors are created on first use so sync-only users (most tests,
   // the pipeline) never spawn threads. Destruction order matters: members

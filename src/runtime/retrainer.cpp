@@ -133,6 +133,9 @@ struct Retrainer::Impl {
       case obs::AlertKind::kQoiDegraded: trigger = opts.retrain_on_qoi; break;
       case obs::AlertKind::kBreakerOpen: trigger = opts.retrain_on_breaker; break;
       case obs::AlertKind::kRolloutRolledBack: trigger = false; break;
+      // Budget burn pages an operator; it does not by itself imply the
+      // model decayed (a latency SLO can burn on pure load), so no retrain.
+      case obs::AlertKind::kSloBurn: trigger = false; break;
     }
     if (!trigger) return;
     alerts_seen.fetch_add(1, std::memory_order_relaxed);

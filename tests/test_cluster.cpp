@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/topology.hpp"
+#include "obs/exposition.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/shard_router.hpp"
 
@@ -457,6 +458,118 @@ TEST(Cluster, ConcurrentClientsAndKillSurviveTsan) {
   cluster.revive_shard(1);
   for (std::thread& t : clients) t.join();
   EXPECT_EQ(ok.load(), 200u);
+}
+
+// ------------------------------------------------- tracing + SLOs + HTTP
+
+TEST(Cluster, OneTraceSpansRouterShardAndBatch) {
+  obs::Tracer tracer;
+  ClusterOptions opts = small_cluster(3, 2);
+  opts.shard_opts.tracer = &tracer;
+  opts.shard_opts.trace_sample_every = 1;  // trace everything
+  ClusterOrchestrator cluster(opts);
+  cluster.set_model("m", rig_model());
+
+  auto f = cluster.run_model_batched("m", request_row(), "tenant-a");
+  ASSERT_TRUE(f.get().is_ok());
+
+  // Every layer of the one request shares ONE trace id: cluster root →
+  // route decision → shard serve → batching (queue wait + execute).
+  const obs::TracerSnapshot snap = tracer.snapshot();
+  std::set<std::uint64_t> trace_ids;
+  std::set<std::string> names;
+  for (const obs::SpanRecord& rec : snap.recent) {
+    trace_ids.insert(rec.trace_id);
+    names.insert(rec.name);
+  }
+  EXPECT_EQ(trace_ids.size(), 1u);
+  EXPECT_NE(*trace_ids.begin(), 0u);
+  EXPECT_TRUE(names.count("cluster.run_model_batched"));
+  EXPECT_TRUE(names.count("cluster.route"));
+  EXPECT_TRUE(names.count("serve.run_model_batched"));
+  EXPECT_TRUE(names.count("batching.batch_wait"));
+  EXPECT_TRUE(names.count("batching.execute"));
+
+  // The root span is the cluster entry point; everything else descends from
+  // the same trace, and the trace id reaches the latency histograms as an
+  // OpenMetrics exemplar.
+  const ClusterHealth h = cluster.cluster_health();
+  obs::PrometheusOptions popts;
+  popts.exemplars = true;
+  const std::string prom = obs::export_prometheus_string(h.merged, popts);
+  EXPECT_NE(prom.find("# {trace_id=\"" + std::to_string(*trace_ids.begin()) +
+                      "\"}"),
+            std::string::npos);
+}
+
+TEST(Cluster, UnsampledRequestsOpenNoSpans) {
+  obs::Tracer tracer;
+  ClusterOptions opts = small_cluster(2, 1);
+  opts.shard_opts.tracer = &tracer;
+  opts.shard_opts.trace_sample_every = 0;  // head sampling disabled
+  ClusterOrchestrator cluster(opts);
+  cluster.set_model("m", rig_model());
+  for (int i = 0; i < 8; ++i) {
+    auto f = cluster.run_model_batched("m", request_row());
+    ASSERT_TRUE(f.get().is_ok());
+  }
+  EXPECT_TRUE(tracer.snapshot().recent.empty());
+  for (const obs::SpanRecord& rec : tracer.snapshot().recent) {
+    ADD_FAILURE() << "unexpected span: " << rec.name;
+  }
+}
+
+TEST(Cluster, SloGaugesRollUpAcrossShards) {
+  ClusterOptions opts = small_cluster(2, 1);
+  obs::SloSpec slo;
+  slo.name = "availability";
+  slo.kind = obs::SloKind::kAvailability;
+  slo.objective = 0.999;
+  opts.shard_opts.slos = {slo};
+  ClusterOrchestrator cluster(opts);
+  cluster.set_model("m", rig_model());
+  for (int i = 0; i < 16; ++i) {
+    auto f = cluster.run_model_batched("m", request_row());
+    ASSERT_TRUE(f.get().is_ok());
+  }
+
+  // cluster_health() forces an SLO evaluation on every shard and rolls the
+  // per-shard burn gauges up pessimistically (max across shards).
+  const ClusterHealth h = cluster.cluster_health();
+  ASSERT_EQ(h.merged.gauges.count("cluster.slo_burn_rate"), 1u);
+  ASSERT_EQ(h.merged.gauges.count("cluster.slo_burning"), 1u);
+  EXPECT_DOUBLE_EQ(h.merged.gauges.at("cluster.slo_burning"), 0.0);
+  bool saw_shard_gauge = false;
+  for (const auto& [key, value] : h.merged.gauges) {
+    if (key.rfind("slo.burn_rate", 0) == 0) {
+      saw_shard_gauge = true;
+      EXPECT_GE(h.merged.gauges.at("cluster.slo_burn_rate"), value);
+    }
+  }
+  EXPECT_TRUE(saw_shard_gauge);
+  // A healthy all-OK stream burns (essentially) nothing.
+  EXPECT_LT(h.merged.gauges.at("cluster.slo_burn_rate"), 1.0);
+}
+
+TEST(Cluster, ExpositionServerServesClusterEndpoints) {
+  ClusterOptions opts = small_cluster(2, 1);
+  obs::SloSpec slo;
+  slo.name = "availability";
+  opts.shard_opts.slos = {slo};
+  opts.shard_opts.trace_sample_every = 1;
+  ClusterOrchestrator cluster(opts);
+  cluster.set_model("m", rig_model());
+  for (int i = 0; i < 4; ++i) {
+    auto f = cluster.run_model_batched("m", request_row());
+    ASSERT_TRUE(f.get().is_ok());
+  }
+
+  obs::HttpServer& server = cluster.serve_exposition();
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+  // Idempotent: a second call returns the same running server.
+  EXPECT_EQ(&cluster.serve_exposition(), &server);
+  EXPECT_EQ(server.port(), cluster.serve_exposition().port());
 }
 
 }  // namespace

@@ -303,19 +303,31 @@ TEST(ExportJson, EmptyRegistryIsStillValid) {
 }
 
 /// Minimal Prometheus text-format line check: every non-comment line is
-/// `name[{labels}] value`, every family has a `# TYPE` line before its first
-/// sample, and histogram `_bucket` series are cumulative (monotone).
+/// `name[{labels}] value`, every family has `# HELP` + `# TYPE` lines before
+/// its first sample, and histogram `_bucket` series are cumulative
+/// (monotone).
 void expect_valid_prometheus(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   std::uint64_t last_bucket = 0;
   std::string last_bucket_family;
+  std::string pending_help_family;  // HELP seen, TYPE expected next
   while (std::getline(in, line)) {
     if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      pending_help_family = rest.substr(0, rest.find(' '));
+      ASSERT_FALSE(pending_help_family.empty()) << line;
+      continue;
+    }
     if (line.rfind("# TYPE ", 0) == 0) {
+      // HELP must immediately precede TYPE for the same family.
+      const std::string rest = line.substr(7);
+      ASSERT_EQ(rest.substr(0, rest.find(' ')), pending_help_family) << line;
       last_bucket_family.clear();
       continue;
     }
+    if (line == "# EOF") continue;
     ASSERT_NE(line[0], '#') << line;
     const std::size_t space = line.rfind(' ');
     ASSERT_NE(space, std::string::npos) << line;
@@ -457,6 +469,119 @@ TEST(Exposition, ChromeTraceExportIsSchemaValid) {
   EXPECT_NE(json.find("\"parent_span_id\": " +
                       std::to_string(child_rec.parent_span_id)),
             std::string::npos);
+}
+
+TEST(Exposition, OpenMetricsExemplarsLinkBucketsToTraces) {
+  obs::MetricsRegistry reg;
+  obs::Tracer tracer;
+  std::uint64_t trace_id = 0;
+  {
+    const obs::Span span(tracer, "serve.run_model");
+    trace_id = span.context().trace_id;
+    reg.histogram("serving.latency.total").record(1e-4, trace_id);
+  }
+  reg.histogram("serving.latency.total").record(2e-4);  // untraced: no exemplar
+
+  // Exemplars are opt-in: the plain exposition carries none.
+  const std::string plain = obs::export_prometheus_string(reg.snapshot());
+  EXPECT_EQ(plain.find("# {trace_id="), std::string::npos);
+
+  obs::PrometheusOptions opts;
+  opts.exemplars = true;
+  opts.openmetrics_eof = true;
+  const std::string text = obs::export_prometheus_string(reg.snapshot(), opts);
+  expect_valid_prometheus(text);
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+
+  // Exactly one bucket carries the exemplar, in OpenMetrics form:
+  //   name_bucket{le="..."} N # {trace_id="T"} V
+  const std::string marker =
+      " # {trace_id=\"" + std::to_string(trace_id) + "\"} ";
+  const std::size_t at = text.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(text.find("# {trace_id=", at + marker.size()), std::string::npos);
+  const std::size_t line_start = text.rfind('\n', at) + 1;
+  const std::string line = text.substr(line_start, at - line_start);
+  EXPECT_EQ(line.rfind("serving_latency_total_bucket{le=\"", 0), 0u);
+
+  // The exemplar's value respects its bucket bound and its trace id names a
+  // span actually retained in the tracer ring.
+  const std::size_t le_start = line.find("le=\"") + 4;
+  const double le = std::stod(line.substr(le_start));
+  const double value = std::stod(text.substr(at + marker.size()));
+  EXPECT_LE(value, le);
+  bool found = false;
+  for (const obs::SpanRecord& rec : tracer.snapshot().recent) {
+    found = found || rec.trace_id == trace_id;
+  }
+  EXPECT_TRUE(found);
+
+  // Exemplars survive a cross-shard snapshot merge.
+  obs::MetricsRegistry other;
+  other.histogram("serving.latency.total").record(3e-4);
+  obs::RegistrySnapshot merged = reg.snapshot();
+  merged.merge(other.snapshot());
+  EXPECT_NE(obs::export_prometheus_string(merged, opts).find(marker),
+            std::string::npos);
+}
+
+TEST(Exposition, HelpRegistryFeedsHelpLines) {
+  obs::register_metric_help("serving.test_family",
+                            "Curated help text\nwith a newline");
+  obs::MetricsRegistry reg;
+  reg.counter("serving.test_family").increment();
+  reg.counter("serving.completely_unknown").increment();
+
+  const std::string text = obs::export_prometheus_string(reg.snapshot());
+  expect_valid_prometheus(text);
+  // Registered help is emitted with the newline escaped; unknown families
+  // still get a HELP line from the fallback.
+  EXPECT_NE(text.find("# HELP serving_test_family Curated help text\\n"
+                      "with a newline"),
+            std::string::npos);
+  EXPECT_NE(text.find("# HELP serving_completely_unknown "), std::string::npos);
+  EXPECT_FALSE(obs::metric_help("serving_completely_unknown").empty());
+}
+
+TEST(Exposition, ChromeTraceFlowEventsLinkCrossThreadSpans) {
+  obs::Tracer tracer;
+  obs::SpanContext root_ctx;
+  {
+    const obs::Span root(tracer, "cluster.run_model");
+    root_ctx = root.context();
+    std::thread worker([&tracer, root_ctx] {
+      const obs::Span child(tracer, "serve.batch", root_ctx);
+    });
+    worker.join();
+  }
+  const obs::TracerSnapshot snap = tracer.snapshot();
+  ASSERT_EQ(snap.recent.size(), 2u);
+  const obs::SpanRecord& child =
+      snap.recent[0].parent_span_id != 0 ? snap.recent[0] : snap.recent[1];
+  const obs::SpanRecord& root =
+      snap.recent[0].parent_span_id != 0 ? snap.recent[1] : snap.recent[0];
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_NE(child.thread_id, root.thread_id);  // sequential ids, per thread
+
+  const std::string json = obs::export_chrome_trace_string(snap);
+  expect_balanced_json(json);
+  // A cross-thread parent/child handoff draws a flow arrow: an "s" (start)
+  // event on the parent's track and an "f" (finish) on the child's.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": " + std::to_string(child.thread_id)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tid\": " + std::to_string(root.thread_id)),
+            std::string::npos);
+
+  // Same-thread nesting draws no arrow.
+  obs::Tracer flat;
+  {
+    const obs::Span a(flat, "a");
+    const obs::Span b(flat, "b");
+  }
+  const std::string flat_json = obs::export_chrome_trace_string(flat.snapshot());
+  EXPECT_EQ(flat_json.find("\"ph\": \"s\""), std::string::npos);
 }
 
 TEST(Exposition, FileWritersReportFailureForBadPaths) {

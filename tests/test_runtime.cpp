@@ -539,7 +539,8 @@ TEST(Batching, ModelRemovedBeforeDispatchResolvesTypedStatus) {
   opts.batch_delay_seconds = 0.0;
   Orchestrator orc(DeviceModel{}, opts);
   BatchingQueue queue(
-      [](const std::string& name, const Tensor& batch) {
+      [](const std::string& name, const Tensor& batch,
+         const std::vector<obs::SpanContext>&) {
         // Mimics the orchestrator's BatchFn against an empty registry.
         return BatchingQueue::RowResults(
             batch.rows(), Result<Tensor>(Status(StatusCode::kModelUnavailable,

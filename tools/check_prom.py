@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Validate Prometheus / OpenMetrics text exposition files.
+
+CI runs this over every BENCH_*.prom the benches emit and over live bodies
+scraped from the embedded HTTP server (docs/OBSERVABILITY.md). Checks:
+
+  * every family has exactly one ``# TYPE`` line, immediately preceded by its
+    ``# HELP`` line (the exposition layer's help registry guarantees this);
+  * metric names, label blocks, and sample values are syntactically legal;
+  * histogram bucket series are cumulative, non-decreasing, strictly ordered
+    by ``le``, and end at ``+Inf`` — tracked per labeled series, since the
+    cluster benches emit one series per shard within a family;
+  * OpenMetrics exemplars (``# {trace_id="..."} value``) are syntactically
+    legal, only appear on bucket samples, and respect the bucket bound
+    (exemplar value <= le);
+  * with ``--openmetrics``, the payload ends with the ``# EOF`` terminator;
+  * with ``--require-exemplars N``, at least N exemplars are present;
+  * with ``--require-families a,b,...``, those families all have TYPE lines.
+
+Usage:
+  check_prom.py [FILE...] [--openmetrics] [--require-exemplars N]
+                [--require-families fam1,fam2,...]
+
+With no FILE arguments, validates every BENCH_*.prom in the current
+directory (and fails if there are none).
+"""
+
+import argparse
+import glob
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+VALUE = r"(?:NaN|[+-]Inf|[0-9eE.+-]+)"
+LABELS = (r'\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+          r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}')
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(" + LABELS + r")? "
+    r"(" + VALUE + r")"
+    r"( # \{trace_id=\"[0-9]+\"\} " + VALUE + r")?$")
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path, require_exemplars=0, require_families=(), openmetrics=False):
+    typed = {}        # family -> kind
+    helped = set()    # families with a HELP line
+    buckets = {}      # (family, labels-sans-le) -> [(bound, count)]
+    exemplars = 0
+    pending_help = None
+    saw_eof = False
+    lines = open(path).read().splitlines()
+    for ln, line in enumerate(lines, 1):
+        if not line:
+            continue
+        if saw_eof:
+            fail(f"{path}:{ln} content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# HELP "):
+            fam = line.split(" ")[2]
+            if not NAME_RE.match(fam):
+                fail(f"{path}:{ln} bad HELP family {fam!r}")
+            if fam in helped:
+                fail(f"{path}:{ln} duplicate HELP {fam}")
+            helped.add(fam)
+            pending_help = fam
+            continue
+        if line.startswith("# TYPE "):
+            _, _, fam, kind = line.split(" ")
+            if not NAME_RE.match(fam):
+                fail(f"{path}:{ln} bad family {fam!r}")
+            if kind not in ("counter", "gauge", "histogram"):
+                fail(f"{path}:{ln} bad kind {kind!r}")
+            if fam in typed:
+                fail(f"{path}:{ln} duplicate TYPE {fam}")
+            if pending_help != fam:
+                fail(f"{path}:{ln} TYPE {fam} not immediately preceded by its HELP")
+            typed[fam] = kind
+            pending_help = None
+            continue
+        if line.startswith("#"):
+            fail(f"{path}:{ln} unexpected comment: {line!r}")
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"{path}:{ln} unparseable sample: {line!r}")
+        name, labels, value, exemplar = m.group(1), m.group(2) or "", m.group(3), m.group(4)
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in typed and base not in typed:
+            fail(f"{path}:{ln} sample {name} has no # TYPE line")
+        if exemplar is not None:
+            if not name.endswith("_bucket"):
+                fail(f"{path}:{ln} exemplar on a non-bucket sample")
+            exemplars += 1
+        if name.endswith("_bucket"):
+            le_m = re.search(r'le="([^"]*)"', labels)
+            if not le_m:
+                fail(f"{path}:{ln} bucket sample without le label")
+            le = le_m.group(1)
+            bound = float("inf") if le == "+Inf" else float(le)
+            series_labels = re.sub(r',?le="[^"]*"', "", labels)
+            series = buckets.setdefault((base, series_labels), [])
+            count = int(value)
+            if series:
+                if bound <= series[-1][0]:
+                    fail(f"{path} {base}{series_labels} le order")
+                if count < series[-1][1]:
+                    fail(f"{path} {base}{series_labels} non-monotone cumulative buckets")
+            series.append((bound, count))
+            if exemplar is not None:
+                ex_value = float(exemplar.rsplit(" ", 1)[1])
+                if ex_value > bound:
+                    fail(f"{path}:{ln} exemplar value {ex_value} above bucket le {bound}")
+    for (fam, labels), series in buckets.items():
+        if series[-1][0] != float("inf"):
+            fail(f"{path} {fam}{labels} missing +Inf bucket")
+    if openmetrics and not saw_eof:
+        fail(f"{path}: missing # EOF terminator")
+    if exemplars < require_exemplars:
+        fail(f"{path}: {exemplars} exemplars, need >= {require_exemplars}")
+    for fam in require_families:
+        if fam not in typed:
+            fail(f"{path}: missing required family {fam}")
+    extra = f", {exemplars} exemplars" if exemplars else ""
+    print(f"{path}: {len(typed)} families OK{extra}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="files to validate "
+                    "(default: BENCH_*.prom in the current directory)")
+    ap.add_argument("--openmetrics", action="store_true",
+                    help="require the OpenMetrics # EOF terminator")
+    ap.add_argument("--require-exemplars", type=int, default=0, metavar="N",
+                    help="require at least N exemplars per file")
+    ap.add_argument("--require-families", default="", metavar="FAMS",
+                    help="comma-separated families that must have TYPE lines")
+    args = ap.parse_args()
+
+    files = args.files or sorted(glob.glob("BENCH_*.prom"))
+    if not files:
+        fail("no files given and no BENCH_*.prom found")
+    families = [f for f in args.require_families.split(",") if f]
+    for path in files:
+        check_file(path, require_exemplars=args.require_exemplars,
+                   require_families=families, openmetrics=args.openmetrics)
+
+
+if __name__ == "__main__":
+    main()
